@@ -1,0 +1,273 @@
+//! Graph merging (Algorithm 1).
+
+use crate::cache::SubgraphCache;
+use serde::{Deserialize, Serialize};
+use svqa_graph::{Graph, VertexId};
+
+/// Configuration of the aggregator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregatorConfig {
+    /// Frequency threshold `c'`: categories appearing more often than this
+    /// across the scene graphs get a cached subgraph. The paper uses 5
+    /// ("generate subgraphs for all vertices T that occur more than 5
+    /// times", §III-B).
+    pub frequency_threshold: usize,
+    /// Neighbourhood radius `k` for `G[S(t, k)]`. The paper sets `k = 2`.
+    pub k: usize,
+    /// Label of the link edges between scene vertices and their
+    /// knowledge-graph counterparts.
+    pub link_label: String,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        AggregatorConfig {
+            frequency_threshold: 5,
+            k: 2,
+            link_label: "same as".to_owned(),
+        }
+    }
+}
+
+/// Accounting from one merge run — exposes the paper's §III-B coverage
+/// claims ("approximately 58% of vertex types occur more than 5 times, and
+/// nearly 82% of vertices are covered") plus cache effectiveness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// Number of cached subgraphs built in the initial stage.
+    pub cached_subgraphs: usize,
+    /// Attach-stage lookups answered by a cached subgraph.
+    pub cache_hits: usize,
+    /// Attach-stage lookups that fell back to the full graph.
+    pub cache_misses: usize,
+    /// Link edges created (×2 for bidirectionality).
+    pub links_created: usize,
+    /// Scene vertices with no knowledge-graph counterpart.
+    pub unlinked_vertices: usize,
+    /// Fraction of distinct scene categories above the threshold.
+    pub fraction_labels_cached: f64,
+    /// Fraction of scene vertices whose category is above the threshold.
+    pub fraction_vertices_covered: f64,
+    /// Bytes held by the subgraph-cache indexes.
+    pub cache_index_bytes: usize,
+}
+
+/// The merged graph `G_mg` plus provenance maps.
+#[derive(Debug)]
+pub struct MergedGraph {
+    /// The unified graph.
+    pub graph: Graph,
+    /// For each input scene graph, the vertex-id translation into `graph`.
+    pub scene_mappings: Vec<Vec<VertexId>>,
+    /// Number of vertices that came from the knowledge graph (they occupy
+    /// ids `0..kg_vertex_count`).
+    pub kg_vertex_count: usize,
+    /// Merge accounting.
+    pub stats: MergeStats,
+}
+
+/// The Data Aggregator (Algorithm 1 driver).
+#[derive(Debug, Clone, Default)]
+pub struct DataAggregator {
+    config: AggregatorConfig,
+}
+
+impl DataAggregator {
+    /// Build an aggregator with the given configuration.
+    pub fn new(config: AggregatorConfig) -> Self {
+        DataAggregator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AggregatorConfig {
+        &self.config
+    }
+
+    /// Algorithm 1: merge `scene_graphs` into knowledge graph `kg`.
+    pub fn merge(&self, scene_graphs: &[Graph], kg: &Graph) -> MergedGraph {
+        // --- Initial stage (lines 1–7): build the subgraph cache. ---
+        let (mut cache, histogram) =
+            SubgraphCache::build(scene_graphs, kg, self.config.frequency_threshold, self.config.k);
+
+        // G_mg starts as a copy of G; scene graphs are absorbed into it.
+        let scene_vertices: usize = scene_graphs.iter().map(Graph::vertex_count).sum();
+        let scene_edges: usize = scene_graphs.iter().map(Graph::edge_count).sum();
+        let mut merged = Graph::with_capacity(
+            kg.vertex_count() + scene_vertices,
+            kg.edge_count() + scene_edges + 2 * scene_vertices,
+        );
+        let kg_mapping = merged.absorb(kg);
+        debug_assert!(kg_mapping.iter().enumerate().all(|(i, v)| v.index() == i));
+
+        // --- Attach stage (lines 8–16). ---
+        let mut links_created = 0usize;
+        let mut unlinked = 0usize;
+        let mut scene_mappings = Vec::with_capacity(scene_graphs.len());
+        for sg in scene_graphs {
+            let mapping = merged.absorb(sg);
+            for (sg_vertex, &merged_id) in sg.vertices().map(|(_, v)| v).zip(&mapping) {
+                // Lines 9–14: find the corresponding knowledge-graph vertex
+                // through the cache, falling back to a direct query.
+                match cache.lookup(kg, sg_vertex.label()) {
+                    Some(kg_local) => {
+                        // connect(v, v') — bidirectional link edges so the
+                        // executor can traverse either way.
+                        let kg_in_merged = kg_mapping[kg_local.index()];
+                        merged
+                            .add_edge(merged_id, kg_in_merged, self.config.link_label.as_str())
+                            .expect("both endpoints exist");
+                        merged
+                            .add_edge(kg_in_merged, merged_id, self.config.link_label.as_str())
+                            .expect("both endpoints exist");
+                        links_created += 2;
+                    }
+                    None => unlinked += 1,
+                }
+            }
+            scene_mappings.push(mapping);
+        }
+
+        let stats = MergeStats {
+            cached_subgraphs: cache.len(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            links_created,
+            unlinked_vertices: unlinked,
+            fraction_labels_cached: histogram
+                .fraction_of_labels_above(self.config.frequency_threshold),
+            fraction_vertices_covered: histogram
+                .fraction_of_items_above(self.config.frequency_threshold),
+            cache_index_bytes: cache.index_size_bytes(),
+        };
+        MergedGraph {
+            graph: merged,
+            scene_mappings,
+            kg_vertex_count: kg.vertex_count(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svqa_graph::GraphBuilder;
+
+    fn scene(labels: &[&str], pred: &str) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<_> = labels.iter().map(|l| g.add_vertex(*l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], pred).unwrap();
+        }
+        g
+    }
+
+    fn kg() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.triple("dog", "is a", "animal")
+            .triple("cat", "is a", "animal")
+            .triple("man", "is a", "person")
+            .triple("ginny weasley", "girlfriend of", "harry potter")
+            .triple("harry potter", "is a", "wizard");
+        b.build()
+    }
+
+    #[test]
+    fn merged_graph_contains_everything() {
+        let scenes = vec![scene(&["dog", "man"], "near"), scene(&["cat"], "near")];
+        let graph = kg();
+        let merged = DataAggregator::default().merge(&scenes, &graph);
+        // 7 KG vertices + 3 scene vertices.
+        assert_eq!(merged.graph.vertex_count(), graph.vertex_count() + 3);
+        assert_eq!(merged.kg_vertex_count, graph.vertex_count());
+        // KG edges + 1 scene edge + 6 link edges (3 linked vertices × 2).
+        assert_eq!(
+            merged.graph.edge_count(),
+            graph.edge_count() + 1 + merged.stats.links_created
+        );
+        merged.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn link_edges_are_bidirectional() {
+        let scenes = vec![scene(&["dog"], "near")];
+        let graph = kg();
+        let merged = DataAggregator::default().merge(&scenes, &graph);
+        let scene_dog = merged.scene_mappings[0][0];
+        let kg_dog = graph.vertices_with_label("dog")[0];
+        assert!(merged.graph.has_edge(scene_dog, kg_dog, "same as"));
+        assert!(merged.graph.has_edge(kg_dog, scene_dog, "same as"));
+    }
+
+    #[test]
+    fn unlinked_vertices_counted() {
+        let scenes = vec![scene(&["unicorn", "dog"], "near")];
+        let merged = DataAggregator::default().merge(&scenes, &kg());
+        assert_eq!(merged.stats.unlinked_vertices, 1);
+        assert_eq!(merged.stats.links_created, 2);
+    }
+
+    #[test]
+    fn cache_is_used_for_frequent_categories() {
+        // 6 dogs exceed the default threshold of 5 → "dog" is cached and
+        // every dog lookup is a hit.
+        let scenes: Vec<Graph> = (0..6).map(|_| scene(&["dog"], "near")).collect();
+        let merged = DataAggregator::default().merge(&scenes, &kg());
+        assert_eq!(merged.stats.cached_subgraphs, 1);
+        assert_eq!(merged.stats.cache_hits, 6);
+        assert_eq!(merged.stats.cache_misses, 0);
+        assert!(merged.stats.cache_index_bytes > 0);
+    }
+
+    #[test]
+    fn threshold_zero_caches_everything_seen() {
+        let scenes = vec![scene(&["dog", "man"], "near")];
+        let agg = DataAggregator::new(AggregatorConfig {
+            frequency_threshold: 0,
+            ..AggregatorConfig::default()
+        });
+        let merged = agg.merge(&scenes, &kg());
+        assert_eq!(merged.stats.cached_subgraphs, 2);
+        assert_eq!(merged.stats.fraction_labels_cached, 1.0);
+        assert_eq!(merged.stats.fraction_vertices_covered, 1.0);
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        // dog ×3, cat ×1 with threshold 2: 1/2 labels cached, 3/4 vertices
+        // covered.
+        let scenes = vec![
+            scene(&["dog"], "near"),
+            scene(&["dog"], "near"),
+            scene(&["dog", "cat"], "near"),
+        ];
+        let agg = DataAggregator::new(AggregatorConfig {
+            frequency_threshold: 2,
+            ..AggregatorConfig::default()
+        });
+        let merged = agg.merge(&scenes, &kg());
+        assert!((merged.stats.fraction_labels_cached - 0.5).abs() < 1e-12);
+        assert!((merged.stats.fraction_vertices_covered - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scene_edge_labels_survive_merging() {
+        let scenes = vec![scene(&["dog", "grass"], "sitting on")];
+        let merged = DataAggregator::default().merge(&scenes, &kg());
+        let labels: Vec<_> = merged
+            .graph
+            .edge_label_counts()
+            .map(|(l, _)| l.to_owned())
+            .collect();
+        assert!(labels.contains(&"sitting on".to_owned()));
+    }
+
+    #[test]
+    fn empty_scene_list_reproduces_kg() {
+        let graph = kg();
+        let merged = DataAggregator::default().merge(&[], &graph);
+        assert_eq!(merged.graph.vertex_count(), graph.vertex_count());
+        assert_eq!(merged.graph.edge_count(), graph.edge_count());
+        assert_eq!(merged.stats.links_created, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The subgraph cache of Algorithm 1's initial stage.
+//!
+//! For every frequent scene category `t` (count `> c'`), the induced
+//! subgraph `G[S(t, k)]` of the knowledge graph is extracted and kept as an
+//! index view (Definition 2). During the attach stage, label lookups go
+//! through these views first; only misses fall back to a full-graph query
+//! (Algorithm 1 lines 12–14).
+
+use svqa_graph::{induced_subgraph, Graph, LabelHistogram, SubgraphView, VertexId};
+
+/// The ordered cache list `G_N` of Algorithm 1, plus hit/miss accounting.
+#[derive(Debug)]
+pub struct SubgraphCache {
+    /// `(category, cached view)` in descending frequency order.
+    entries: Vec<(String, SubgraphView)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl SubgraphCache {
+    /// Initial stage (Algorithm 1 lines 1–7): count scene-graph categories,
+    /// and for each category above `frequency_threshold` that resolves to a
+    /// knowledge-graph vertex, cache its `k`-hop induced subgraph.
+    pub fn build(
+        scene_graphs: &[Graph],
+        kg: &Graph,
+        frequency_threshold: usize,
+        k: usize,
+    ) -> (Self, LabelHistogram) {
+        let histogram = LabelHistogram::from_vertex_labels(scene_graphs.iter());
+        let mut entries = Vec::new();
+        for (category, _count) in histogram.above_threshold(frequency_threshold) {
+            // find(t_sg, V): the first knowledge-graph vertex labeled with
+            // the category; categories unknown to the graph get no cache
+            // entry (their lookups will fall back to direct queries).
+            let Some(&t) = kg.vertices_with_label(category).first() else {
+                continue;
+            };
+            entries.push((category.to_owned(), induced_subgraph(kg, t, k)));
+        }
+        (
+            SubgraphCache {
+                entries,
+                hits: 0,
+                misses: 0,
+            },
+            histogram,
+        )
+    }
+
+    /// Attach-stage lookup: find the knowledge-graph vertex labeled `label`
+    /// through the cached views first (hit), falling back to the full graph
+    /// (miss) — Algorithm 1 lines 9–14.
+    pub fn lookup(&mut self, kg: &Graph, label: &str) -> Option<VertexId> {
+        for (_, view) in &self.entries {
+            if let Some(v) = view.vertices_with_label(kg, label).next() {
+                self.hits += 1;
+                return Some(v);
+            }
+        }
+        self.misses += 1;
+        kg.vertices_with_label(label).first().copied()
+    }
+
+    /// Number of cached subgraphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses (direct-query fallbacks) so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Total bytes of index structures held by the cached views.
+    pub fn index_size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(c, v)| c.len() + v.index_size_bytes())
+            .sum()
+    }
+
+    /// Categories with a cached subgraph, in descending frequency order.
+    pub fn cached_categories(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(c, _)| c.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svqa_graph::GraphBuilder;
+
+    fn scene(labels: &[&str]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<_> = labels.iter().map(|l| g.add_vertex(*l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], "near").unwrap();
+        }
+        g
+    }
+
+    fn kg() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.triple("dog", "is a", "animal")
+            .triple("cat", "is a", "animal")
+            .triple("animal", "is a", "creature")
+            .triple("man", "is a", "person")
+            .triple("harry potter", "is a", "wizard")
+            .triple("wizard", "is a", "person");
+        b.build()
+    }
+
+    #[test]
+    fn frequent_categories_get_cached() {
+        let scenes = vec![
+            scene(&["dog", "man"]),
+            scene(&["dog", "man"]),
+            scene(&["dog", "cat"]),
+        ];
+        let (cache, hist) = SubgraphCache::build(&scenes, &kg(), 1, 2);
+        // dog (3) and man (2) exceed threshold 1; cat (1) does not.
+        let cached: Vec<_> = cache.cached_categories().collect();
+        assert_eq!(cached, vec!["dog", "man"]);
+        assert_eq!(hist.count("dog"), 3);
+    }
+
+    #[test]
+    fn categories_missing_from_kg_are_skipped() {
+        let scenes = vec![scene(&["unicorn", "unicorn", "dog", "dog"])];
+        let (cache, _) = SubgraphCache::build(&scenes, &kg(), 1, 2);
+        let cached: Vec<_> = cache.cached_categories().collect();
+        assert_eq!(cached, vec!["dog"]);
+    }
+
+    #[test]
+    fn lookup_hits_cached_neighborhood() {
+        let scenes = vec![scene(&["dog", "dog"])];
+        let graph = kg();
+        let (mut cache, _) = SubgraphCache::build(&scenes, &graph, 1, 2);
+        // "animal" is within 2 hops of "dog" → cache hit.
+        let v = cache.lookup(&graph, "animal").unwrap();
+        assert_eq!(graph.vertex_label(v), Some("animal"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn lookup_falls_back_to_full_graph() {
+        let scenes = vec![scene(&["dog", "dog"])];
+        let graph = kg();
+        let (mut cache, _) = SubgraphCache::build(&scenes, &graph, 1, 1);
+        // "harry potter" is far from "dog" → miss, then direct query.
+        let v = cache.lookup(&graph, "harry potter").unwrap();
+        assert_eq!(graph.vertex_label(v), Some("harry potter"));
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lookup_of_unknown_label_is_none_and_counts_miss() {
+        let scenes = vec![scene(&["dog", "dog"])];
+        let graph = kg();
+        let (mut cache, _) = SubgraphCache::build(&scenes, &graph, 1, 2);
+        assert!(cache.lookup(&graph, "spaceship").is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (cache, hist) = SubgraphCache::build(&[], &Graph::new(), 5, 2);
+        assert!(cache.is_empty());
+        assert_eq!(hist.total(), 0);
+        assert_eq!(cache.index_size_bytes(), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # svqa-aggregator
+//!
+//! The Data Aggregator of the SVQA reproduction (§III of the paper):
+//! unifies scene graphs `{G_sg(I)}` and the knowledge graph `G` into one
+//! *merged graph* `G_mg`, using Algorithm 1's frequency-driven subgraph
+//! cache to speed up entity linking.
+//!
+//! The merged graph contains:
+//! * every knowledge-graph vertex and edge, unchanged;
+//! * every scene-graph vertex and edge (vertex properties carry the image
+//!   id), absorbed per image;
+//! * *link edges* (label configurable, default `"same as"`) connecting each
+//!   scene vertex to the knowledge-graph vertex with the matching label,
+//!   in both directions, so query execution can hop between visual
+//!   evidence and external knowledge.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod cache;
+pub mod incremental;
+
+pub use aggregate::{AggregatorConfig, DataAggregator, MergeStats, MergedGraph};
+pub use cache::SubgraphCache;
+pub use incremental::IncrementalMerger;

@@ -1,0 +1,26 @@
+//! # svqa-baselines
+//!
+//! The comparison systems of the paper's evaluation, rebuilt as calibrated
+//! simulators (see `DESIGN.md` — the real models are hundred-million
+//! parameter checkpoints):
+//!
+//! * [`vqa_models`] — VisualBert / ViLT / OFA (Exp-2, Table IV): per-image
+//!   VQA models that answer *decomposed simple questions* (the paper feeds
+//!   them SVQA's own query-graph decomposition) through a clause-level
+//!   noise channel, with a latency cost model charging per-image inference;
+//! * [`splitters`] — ABCD-MLP / ABCD-bilinear / DisSim (Exp-4, Fig. 9a):
+//!   sentence-split baselines that pay a large model-load latency before a
+//!   per-question cost;
+//! * [`simclock`] — the simulated clock those cost models accumulate on
+//!   (deep-learning latencies are *simulated*; SVQA's own latencies are
+//!   wall-clock — EXPERIMENTS.md discusses the comparison).
+
+#![warn(missing_docs)]
+
+pub mod simclock;
+pub mod splitters;
+pub mod vqa_models;
+
+pub use simclock::SimClock;
+pub use splitters::{SentenceSplitter, SplitterModel};
+pub use vqa_models::{BaselineVqa, VqaModel};

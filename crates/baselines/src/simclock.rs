@@ -1,0 +1,73 @@
+//! A simulated clock for deep-learning cost models.
+//!
+//! The paper's baselines run on 8×V100 GPUs; reproducing their latency on a
+//! CPU is meaningless, so their cost models charge *simulated milliseconds*
+//! (model loading, per-image forward passes) to this clock. SVQA's own
+//! engine runs for real and is measured in wall-clock time.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accumulates simulated time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    elapsed_ms: f64,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Charge `ms` simulated milliseconds (negative charges are clamped to
+    /// zero — time does not run backwards).
+    pub fn charge_ms(&mut self, ms: f64) {
+        self.elapsed_ms += ms.max(0.0);
+    }
+
+    /// Total simulated time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ms
+    }
+
+    /// Total simulated time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_secs_f64(self.elapsed_ms / 1000.0)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&mut self) {
+        self.elapsed_ms = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.elapsed_ms(), 0.0);
+        c.charge_ms(100.0);
+        c.charge_ms(250.5);
+        assert!((c.elapsed_ms() - 350.5).abs() < 1e-9);
+        assert!((c.elapsed().as_secs_f64() - 0.3505).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_charges_clamped() {
+        let mut c = SimClock::new();
+        c.charge_ms(-5.0);
+        assert_eq!(c.elapsed_ms(), 0.0);
+    }
+
+    #[test]
+    fn reset() {
+        let mut c = SimClock::new();
+        c.charge_ms(10.0);
+        c.reset();
+        assert_eq!(c.elapsed_ms(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Bench for the Table I/II path: dataset generation + statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use svqa_dataset::{generate_images, Mvqa};
+
+fn bench_dataset(c: &mut Criterion) {
+    c.bench_function("dataset/generate_500_images", |b| {
+        b.iter(|| black_box(generate_images(black_box(500), 7).len()))
+    });
+    let mvqa = Mvqa::generate_small(500, 7);
+    c.bench_function("dataset/stats_table2", |b| {
+        b.iter(|| black_box(mvqa.stats()))
+    });
+    c.bench_function("dataset/full_mvqa_300", |b| {
+        b.iter_batched(
+            || (),
+            |()| black_box(Mvqa::generate_small(300, 11).questions.len()),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dataset
+}
+criterion_main!(benches);

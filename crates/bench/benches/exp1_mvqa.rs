@@ -1,0 +1,47 @@
+//! Exp-1 (Table III) bench: end-to-end SVQA on an MVQA world.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa::{Svqa, SvqaConfig};
+use svqa_dataset::Mvqa;
+
+fn bench_exp1(c: &mut Criterion) {
+    let mvqa = Mvqa::generate_small(400, 21);
+
+    c.bench_function("exp1/offline_build_400_images", |b| {
+        b.iter(|| {
+            black_box(Svqa::build(
+                black_box(&mvqa.images),
+                &mvqa.kg,
+                SvqaConfig::default(),
+            ))
+        })
+    });
+
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    let judgment = "Does the dog appear in the car?";
+    let example1 = "What kind of clothes are worn by the wizard who is most \
+                    frequently hanging out with Harry Potter's girlfriend?";
+    c.bench_function("exp1/answer_judgment", |b| {
+        b.iter(|| black_box(system.answer(black_box(judgment))))
+    });
+    c.bench_function("exp1/answer_example1", |b| {
+        b.iter(|| black_box(system.answer(black_box(example1))))
+    });
+
+    let questions: Vec<&str> = mvqa
+        .questions
+        .iter()
+        .take(25)
+        .map(|q| q.question.as_str())
+        .collect();
+    c.bench_function("exp1/batch_25_questions", |b| {
+        b.iter(|| black_box(system.answer_batch(black_box(&questions)).answers.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exp1
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Exp-2 (Table IV) bench: baseline simulators vs SVQA on modified VQAv2.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa::baselines::vqa_models::{BaselineVqa, VqaModel};
+use svqa::dataset::groundtruth::GroundTruth;
+use svqa::dataset::vqav2::{generate_vqav2, VqaV2Config};
+use svqa::{Svqa, SvqaConfig};
+
+fn bench_exp2(c: &mut Criterion) {
+    let v = generate_vqav2(VqaV2Config {
+        image_count: 400,
+        per_type: 10,
+        seed: 5,
+    });
+    let gt = GroundTruth::new(&v.images, &v.kg);
+
+    for model in VqaModel::ALL {
+        c.bench_function(&format!("exp2/baseline_{}", model.name()), |b| {
+            b.iter(|| {
+                black_box(
+                    BaselineVqa::new(model, 1)
+                        .answer_dataset(&gt, &v.specs, v.images.len())
+                        .0
+                        .len(),
+                )
+            })
+        });
+    }
+
+    let system = Svqa::build(&v.images, &v.kg, SvqaConfig::default());
+    let questions: Vec<&str> = v.questions.iter().map(|q| q.question.as_str()).collect();
+    c.bench_function("exp2/svqa_batch", |b| {
+        b.iter(|| black_box(system.answer_batch(black_box(&questions)).answers.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exp2
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Exp-3 (Table V) bench: scene-graph generation per framework × method.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa::dataset::generate_crowded_images;
+use svqa::vision::prior::PairPrior;
+use svqa::vision::sgg::{SceneGraphGenerator, SggConfig, SggModel};
+
+fn bench_exp3(c: &mut Criterion) {
+    let images = generate_crowded_images(50, 0x5661);
+    let prior = PairPrior::fit(&images);
+
+    for model in SggModel::ALL {
+        for use_tde in [false, true] {
+            let label = format!(
+                "exp3/sgg_{}_{}",
+                model.name(),
+                if use_tde { "tde" } else { "orig" }
+            );
+            let sgg = SceneGraphGenerator::new(
+                SggConfig {
+                    model,
+                    use_tde,
+                    ..SggConfig::default()
+                },
+                prior.clone(),
+            );
+            c.bench_function(&label, |b| {
+                b.iter(|| {
+                    let mut edges = 0usize;
+                    for img in &images {
+                        edges += sgg.generate(img).graph.edge_count();
+                    }
+                    black_box(edges)
+                })
+            });
+        }
+    }
+
+    c.bench_function("exp3/prior_fit", |b| {
+        b.iter(|| black_box(PairPrior::fit(black_box(&images)).pair_count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exp3
+}
+criterion_main!(benches);

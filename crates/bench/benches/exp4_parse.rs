@@ -1,0 +1,61 @@
+//! Exp-4 (Fig. 9) bench: query-graph generation vs the split baselines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa::baselines::splitters::{SentenceSplitter, SplitterModel};
+use svqa::qparser::QueryGraphGenerator;
+use svqa_dataset::Mvqa;
+
+fn bench_exp4(c: &mut Criterion) {
+    let mvqa = Mvqa::generate_small(400, 21);
+    let generator = QueryGraphGenerator::new();
+
+    // Fig. 9b: per-clause-count parse latency.
+    for (label, clause_filter) in [("1clause", 1usize), ("2clause", 2), ("3clause", 3)] {
+        let subset: Vec<&str> = mvqa
+            .questions
+            .iter()
+            .filter(|q| q.clauses == clause_filter && !q.adversarial)
+            .map(|q| q.question.as_str())
+            .collect();
+        if subset.is_empty() {
+            continue;
+        }
+        c.bench_function(&format!("exp4/parse_{label}"), |b| {
+            b.iter(|| {
+                for q in &subset {
+                    black_box(generator.generate(q).ok());
+                }
+            })
+        });
+    }
+
+    // Fig. 9a: ours (construction + batch) vs the splitters' real split
+    // work (their simulated-clock cost is constants, not benchable).
+    let questions: Vec<&str> = mvqa
+        .questions
+        .iter()
+        .take(30)
+        .map(|q| q.question.as_str())
+        .collect();
+    c.bench_function("exp4/ours_cold_30_questions", |b| {
+        b.iter(|| {
+            let generator = QueryGraphGenerator::new();
+            let mut n = 0;
+            for q in &questions {
+                n += usize::from(generator.generate(q).is_ok());
+            }
+            black_box(n)
+        })
+    });
+    let splitter = SentenceSplitter::new(SplitterModel::AbcdMlp);
+    c.bench_function("exp4/abcd_split_work_30_questions", |b| {
+        b.iter(|| black_box(splitter.split_batch(black_box(&questions)).0.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_exp4
+}
+criterion_main!(benches);

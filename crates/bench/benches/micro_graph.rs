@@ -1,0 +1,44 @@
+//! Microbenchmarks: the graph substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa_graph::{induced_subgraph, k_hop_neighborhood, Graph};
+
+fn build_graph(n: usize) -> Graph {
+    let mut g = Graph::with_capacity(n, n * 4);
+    let ids: Vec<_> = (0..n).map(|i| g.add_vertex(format!("v{}", i % 64))).collect();
+    for i in 0..n {
+        g.add_edge(ids[i], ids[(i * 7 + 1) % n], "e").unwrap();
+        g.add_edge(ids[i], ids[(i * 13 + 5) % n], "f").unwrap();
+    }
+    g
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let g = build_graph(10_000);
+    let start = svqa_graph::VertexId::from_index(0);
+
+    c.bench_function("graph/build_10k", |b| {
+        b.iter(|| black_box(build_graph(black_box(10_000))))
+    });
+    c.bench_function("graph/label_lookup", |b| {
+        b.iter(|| black_box(g.vertices_with_label(black_box("v17")).len()))
+    });
+    c.bench_function("graph/k_hop_2", |b| {
+        b.iter(|| black_box(k_hop_neighborhood(&g, start, 2).len()))
+    });
+    c.bench_function("graph/induced_subgraph_2", |b| {
+        b.iter(|| black_box(induced_subgraph(&g, start, 2).edge_count()))
+    });
+    c.bench_function("graph/out_neighbors_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (vid, _) in g.vertices().take(1000) {
+                acc += g.out_neighbors(vid).count();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

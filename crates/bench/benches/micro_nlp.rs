@@ -1,0 +1,39 @@
+//! Microbenchmarks: the NLP substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use svqa_nlp::{levenshtein, Embedder, PosTagger, RuleDependencyParser};
+
+const Q: &str = "What kind of clothes are worn by the wizard who is most \
+                 frequently hanging out with Harry Potter's girlfriend?";
+
+fn bench_nlp(c: &mut Criterion) {
+    let tagger = PosTagger::new();
+    let parser = RuleDependencyParser::new();
+    let embedder = Embedder::new();
+    let tagged = tagger.tag(Q);
+
+    c.bench_function("nlp/tokenize", |b| {
+        b.iter(|| black_box(svqa_nlp::tokenize(black_box(Q)).len()))
+    });
+    c.bench_function("nlp/pos_tag", |b| {
+        b.iter(|| black_box(tagger.tag(black_box(Q)).len()))
+    });
+    c.bench_function("nlp/dependency_parse", |b| {
+        b.iter(|| black_box(parser.parse(black_box(&tagged)).unwrap().len()))
+    });
+    c.bench_function("nlp/tagger_construction", |b| {
+        b.iter(|| black_box(PosTagger::new()))
+    });
+    c.bench_function("nlp/embed_word", |b| {
+        b.iter(|| black_box(embedder.embed(black_box("wizard"))))
+    });
+    c.bench_function("nlp/similarity", |b| {
+        b.iter(|| black_box(embedder.similarity(black_box("hang out with"), black_box("near"))))
+    });
+    c.bench_function("nlp/levenshtein", |b| {
+        b.iter(|| black_box(levenshtein(black_box("girlfriend"), black_box("boyfriend"))))
+    });
+}
+
+criterion_group!(benches, bench_nlp);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! # svqa-bench
+//!
+//! The experiment harness of the SVQA reproduction: one runner per table
+//! and figure of the paper's evaluation (§VII). The binaries `exp_tables`
+//! and `exp_figures` print paper-style rows (with the paper's reported
+//! numbers alongside for comparison) and write JSON reports under
+//! `results/`; the Criterion benches under `benches/` time scaled-down
+//! versions of the same code paths.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

@@ -1,0 +1,226 @@
+//! `svqa-cli` — build, persist, query and evaluate SVQA worlds from the
+//! command line.
+//!
+//! ```text
+//! svqa-cli build --images 1000 --seed 7 --out world/     # offline phase
+//! svqa-cli ask   --world world/ "How many dogs are in the car?"
+//! svqa-cli eval  --world world/                          # Table-III style report
+//! svqa-cli repl  --images 500                            # interactive loop
+//! ```
+//!
+//! The world directory holds the merged graph as a binary snapshot
+//! (`merged.svqg`, see `svqa_graph::binio`) plus the generated questions
+//! with their ground truth (`questions.json`) — everything the online
+//! phase needs, without regenerating scenes.
+
+use std::io::{BufRead, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use svqa::dataset::mvqa::{Mvqa, MvqaConfig, PredictedAnswer};
+use svqa::dataset::questions::{QaPair, QuestionCounts};
+use svqa::executor::executor::QueryGraphExecutor;
+use svqa::qparser::QueryGraphGenerator;
+use svqa::{Svqa, SvqaConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("ask") => cmd_ask(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("repl") => cmd_repl(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: svqa-cli <build|ask|eval|repl> [--images N] [--seed S] [--out DIR] [--world DIR] [question]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn positional(args: &[String]) -> Option<String> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = true;
+            continue;
+        }
+        return Some(a.clone());
+    }
+    None
+}
+
+fn build_world(images: usize, seed: u64) -> (Svqa, Mvqa) {
+    eprintln!("generating {images} images (seed {seed})...");
+    let mvqa = Mvqa::generate(MvqaConfig {
+        image_count: images,
+        seed,
+        counts: QuestionCounts::default(),
+    });
+    eprintln!("building the merged graph...");
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    let stats = system.build_stats();
+    eprintln!(
+        "merged graph: {} vertices, {} edges",
+        stats.merged_vertices, stats.merged_edges
+    );
+    (system, mvqa)
+}
+
+fn cmd_build(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(1000), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+    let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| "world".to_owned()));
+    std::fs::create_dir_all(&out)?;
+
+    let (system, mvqa) = build_world(images, seed);
+    std::fs::write(
+        out.join("merged.svqg"),
+        svqa::graph::binio::to_bytes(system.merged_graph()),
+    )?;
+    std::fs::write(
+        out.join("questions.json"),
+        serde_json::to_string_pretty(&mvqa.questions)?,
+    )?;
+    std::fs::write(
+        out.join("meta.json"),
+        serde_json::to_string_pretty(&serde_json::json!({
+            "images": images,
+            "seed": seed,
+            "config": system.config().summary(),
+        }))?,
+    )?;
+    println!("world written to {}", out.display());
+    Ok(())
+}
+
+fn load_world(dir: &Path) -> Result<(svqa::graph::Graph, Vec<QaPair>), AnyError> {
+    let snapshot = std::fs::read(dir.join("merged.svqg"))?;
+    let graph = svqa::graph::binio::from_bytes(snapshot.into())?;
+    let questions: Vec<QaPair> =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("questions.json"))?)?;
+    Ok((graph, questions))
+}
+
+fn answer_over(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyError> {
+    let generator = QueryGraphGenerator::new();
+    let gq = generator.generate(question)?;
+    println!("query graph ({:?}):", gq.question_type);
+    for (i, v) in gq.vertices.iter().enumerate() {
+        println!("  v{i}: {}", v.display());
+    }
+    let executor = QueryGraphExecutor::new(graph);
+    let (answer, explanation) = executor.execute_explained(&gq)?;
+    println!("answer: {answer}");
+    let support = explanation.answer_support();
+    if !support.is_empty() {
+        println!("evidence ({} facts):", support.len());
+        for fact in support.iter().take(8) {
+            println!("  {}", fact.display());
+        }
+        if support.len() > 8 {
+            println!("  ... and {} more", support.len() - 8);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ask(args: &[String]) -> Result<(), AnyError> {
+    let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+    let question = positional(args).ok_or("no question given")?;
+    let (graph, _) = load_world(&world)?;
+    answer_over(&graph, &question)
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
+    let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+    let (graph, questions) = load_world(&world)?;
+    let generator = QueryGraphGenerator::new();
+    let executor = QueryGraphExecutor::new(&graph);
+    let embedder = svqa::nlp::Embedder::new();
+    let mut per_type: std::collections::HashMap<&str, (usize, usize)> = Default::default();
+    for q in &questions {
+        let entry = per_type.entry(q.qtype.name()).or_insert((0, 0));
+        entry.1 += 1;
+        let predicted = generator
+            .generate(&q.question)
+            .ok()
+            .and_then(|gq| executor.execute(&gq).ok());
+        let correct = match (&q.answer, &predicted) {
+            (svqa::dataset::GtAnswer::YesNo(g), Some(svqa::Answer::Judgment(p))) => g == p,
+            (svqa::dataset::GtAnswer::Count(g), Some(svqa::Answer::Count(p))) => g == p,
+            (svqa::dataset::GtAnswer::Entity(g), Some(svqa::Answer::Entity { label, .. })) => {
+                g == label || embedder.similarity(g, label) >= 0.7
+            }
+            _ => false,
+        };
+        if correct {
+            entry.0 += 1;
+        }
+        let _ = PredictedAnswer::Count(0); // (type re-exported for library users)
+    }
+    let mut total = (0usize, 0usize);
+    for (name, (c, n)) in &per_type {
+        println!("{name:10} {c}/{n} = {:.1}%", 100.0 * *c as f64 / *n as f64);
+        total.0 += c;
+        total.1 += n;
+    }
+    println!(
+        "{:10} {}/{} = {:.1}%",
+        "Overall",
+        total.0,
+        total.1,
+        100.0 * total.0 as f64 / total.1.max(1) as f64
+    );
+    Ok(())
+}
+
+fn cmd_repl(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(500), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(7), |s| s.parse())?;
+    let (system, _) = build_world(images, seed);
+    println!("ready — type a question (empty line to quit)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("svqa> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let question = line.trim();
+        if question.is_empty() {
+            break;
+        }
+        match system.answer_explained(question) {
+            Ok((answer, explanation)) => {
+                println!("answer: {answer}");
+                for fact in explanation.answer_support().iter().take(5) {
+                    println!("  {}", fact.display());
+                }
+            }
+            Err(e) => println!("could not answer: {e}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Pipeline error type.
+
+use std::fmt;
+use svqa_executor::executor::ExecError;
+use svqa_qparser::QueryParseError;
+
+/// Errors from answering a question end-to-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SvqaError {
+    /// The question could not be parsed into a query graph (§IV).
+    Parse(QueryParseError),
+    /// The query graph could not be executed (§V).
+    Exec(ExecError),
+}
+
+impl fmt::Display for SvqaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvqaError::Parse(e) => write!(f, "query parse failed: {e}"),
+            SvqaError::Exec(e) => write!(f, "query execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SvqaError {}
+
+impl From<QueryParseError> for SvqaError {
+    fn from(e: QueryParseError) -> Self {
+        SvqaError::Parse(e)
+    }
+}
+
+impl From<ExecError> for SvqaError {
+    fn from(e: ExecError) -> Self {
+        SvqaError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: SvqaError = ExecError::EmptyQueryGraph.into();
+        assert!(e.to_string().contains("execution"));
+        let e: SvqaError = QueryParseError::EmptySpoc { clause: 1 }.into();
+        assert!(e.to_string().contains("parse"));
+    }
+}

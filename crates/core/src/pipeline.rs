@@ -1,0 +1,327 @@
+//! The end-to-end SVQA pipeline (Fig. 2 of the paper).
+
+use crate::config::SvqaConfig;
+use crate::error::SvqaError;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+use svqa_aggregator::DataAggregator;
+use svqa_executor::cache::KeyCentricCache;
+use svqa_executor::executor::QueryGraphExecutor;
+use svqa_executor::scheduler::{BatchReport, QueryScheduler};
+use svqa_executor::Answer;
+use svqa_graph::Graph;
+use svqa_qparser::{QueryGraph, QueryGraphGenerator};
+use svqa_vision::prior::PairPrior;
+use svqa_vision::scene::SyntheticImage;
+use svqa_vision::sgg::SceneGraphGenerator;
+
+/// Offline build statistics.
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Number of scene graphs generated.
+    pub scene_graphs: usize,
+    /// Merged-graph vertex count.
+    pub merged_vertices: usize,
+    /// Merged-graph edge count.
+    pub merged_edges: usize,
+    /// Aggregator accounting (Algorithm 1).
+    pub merge: svqa_aggregator::MergeStats,
+    /// Wall-clock time of scene-graph generation.
+    pub sgg_time: Duration,
+    /// Wall-clock time of graph merging.
+    pub merge_time: Duration,
+}
+
+/// Result of answering a batch of questions.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-question results (original order). Parse failures are recorded
+    /// as errors, matching the paper's Fig. 8a error analysis.
+    pub answers: Vec<Result<Answer, SvqaError>>,
+    /// Total wall-clock latency of the batch.
+    pub total: Duration,
+    /// Wall-clock per question (original order; parse-failed questions
+    /// carry their parse time).
+    pub per_query: Vec<Duration>,
+    /// Cache statistics `(scope hits, scope misses, path hits, path
+    /// misses)`.
+    pub cache_stats: (u64, u64, u64, u64),
+}
+
+/// The assembled system: merged graph + query pipeline.
+pub struct Svqa {
+    config: SvqaConfig,
+    merged: Graph,
+    generator: QueryGraphGenerator,
+    build_stats: BuildStats,
+    /// The scene-graph generator, retained for incremental ingestion (its
+    /// prior is the one fitted on the original corpus — a deployed model
+    /// does not retrain per batch).
+    sgg: SceneGraphGenerator,
+    /// KG vertices occupy merged ids `0..kg_vertex_count` (absorb order),
+    /// which is how incremental linking finds knowledge counterparts.
+    kg_vertex_count: usize,
+}
+
+impl Svqa {
+    /// Offline phase: run scene-graph generation over every image (fitting
+    /// the relation model's prior on the corpus), then merge with the
+    /// knowledge graph (Algorithm 1).
+    pub fn build(images: &[SyntheticImage], kg: &Graph, config: SvqaConfig) -> Svqa {
+        let prior = PairPrior::fit(images);
+        let sgg = SceneGraphGenerator::new(config.sgg.clone(), prior);
+        let t0 = Instant::now();
+        let scene_graphs: Vec<Graph> = images.iter().map(|i| sgg.generate(i).graph).collect();
+        let sgg_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let aggregator = DataAggregator::new(config.aggregator.clone());
+        let merged = aggregator.merge(&scene_graphs, kg);
+        let merge_time = t1.elapsed();
+
+        let build_stats = BuildStats {
+            scene_graphs: scene_graphs.len(),
+            merged_vertices: merged.graph.vertex_count(),
+            merged_edges: merged.graph.edge_count(),
+            merge: merged.stats,
+            sgg_time,
+            merge_time,
+        };
+        Svqa {
+            config,
+            merged: merged.graph,
+            generator: QueryGraphGenerator::new(),
+            build_stats,
+            sgg,
+            kg_vertex_count: kg.vertex_count(),
+        }
+    }
+
+    /// Incremental ingestion: run scene-graph generation over `images` and
+    /// attach them to the existing merged graph (the data-lake scenario of
+    /// §I — new sources arrive continuously, and rebuilding `G_mg` from
+    /// scratch per batch would defeat the aggregator). Returns the number
+    /// of new link edges created.
+    ///
+    /// Note: callers running batches through the §V-B scheduler should
+    /// start a fresh [`svqa_executor::cache::KeyCentricCache`] afterwards —
+    /// cached scopes and paths predate the new evidence.
+    pub fn add_images(&mut self, images: &[SyntheticImage]) -> usize {
+        let link_label = self.config.aggregator.link_label.clone();
+        let mut links = 0usize;
+        for image in images {
+            let out = self.sgg.generate(image);
+            let mapping = self.merged.absorb(&out.graph);
+            for (local, &merged_id) in out.graph.vertices().map(|(_, v)| v).zip(&mapping) {
+                // Knowledge counterpart: the first vertex with this label
+                // inside the KG id range.
+                let kg_vertex = self
+                    .merged
+                    .vertices_with_label(local.label())
+                    .iter()
+                    .copied()
+                    .find(|v| v.index() < self.kg_vertex_count);
+                if let Some(kg) = kg_vertex {
+                    self.merged
+                        .add_edge(merged_id, kg, link_label.as_str())
+                        .expect("endpoints exist");
+                    self.merged
+                        .add_edge(kg, merged_id, link_label.as_str())
+                        .expect("endpoints exist");
+                    links += 2;
+                }
+            }
+        }
+        self.build_stats.scene_graphs += images.len();
+        self.build_stats.merged_vertices = self.merged.vertex_count();
+        self.build_stats.merged_edges = self.merged.edge_count();
+        self.build_stats.merge.links_created += links;
+        links
+    }
+
+    /// Answer a question and return the supporting evidence (which images
+    /// and knowledge-graph facts back the answer).
+    pub fn answer_explained(
+        &self,
+        question: &str,
+    ) -> Result<(Answer, svqa_executor::Explanation), SvqaError> {
+        let gq = self.parse(question)?;
+        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+        Ok(executor.execute_explained(&gq)?)
+    }
+
+    /// The merged graph `G_mg`.
+    pub fn merged_graph(&self) -> &Graph {
+        &self.merged
+    }
+
+    /// Offline build statistics.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SvqaConfig {
+        &self.config
+    }
+
+    /// Parse a question into its query graph (§IV).
+    pub fn parse(&self, question: &str) -> Result<QueryGraph, SvqaError> {
+        Ok(self.generator.generate(question)?)
+    }
+
+    /// Answer a single question end-to-end.
+    pub fn answer(&self, question: &str) -> Result<Answer, SvqaError> {
+        let gq = self.parse(question)?;
+        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+        Ok(executor.execute(&gq)?)
+    }
+
+    /// Answer a single question with a caller-provided shared cache.
+    pub fn answer_cached(
+        &self,
+        question: &str,
+        cache: &Mutex<KeyCentricCache>,
+    ) -> Result<Answer, SvqaError> {
+        let gq = self.parse(question)?;
+        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+        Ok(executor.execute_cached(&gq, Some(cache)).map(|(a, _)| a)?)
+    }
+
+    /// Answer a batch with the §V-B optimized scheduler (frequency-sorted
+    /// order, shared key-centric cache, optional parallelism).
+    pub fn answer_batch(&self, questions: &[&str]) -> BatchOutcome {
+        let start = Instant::now();
+        // Parse phase (per-question failures recorded, not fatal).
+        let mut parsed: Vec<(usize, QueryGraph)> = Vec::with_capacity(questions.len());
+        let mut answers: Vec<Option<Result<Answer, SvqaError>>> =
+            (0..questions.len()).map(|_| None).collect();
+        let mut per_query = vec![Duration::ZERO; questions.len()];
+        for (i, q) in questions.iter().enumerate() {
+            let t0 = Instant::now();
+            match self.generator.generate(q) {
+                Ok(gq) => parsed.push((i, gq)),
+                Err(e) => {
+                    answers[i] = Some(Err(e.into()));
+                }
+            }
+            per_query[i] = t0.elapsed();
+        }
+        // Execution phase via the scheduler.
+        let graphs: Vec<QueryGraph> = parsed.iter().map(|(_, g)| g.clone()).collect();
+        let scheduler = QueryScheduler::new(self.config.scheduler);
+        let report: BatchReport = scheduler.run(&self.merged, &graphs);
+        for ((orig, _), (answer, dt)) in parsed
+            .iter()
+            .zip(report.answers.into_iter().zip(report.per_query))
+        {
+            answers[*orig] = Some(answer.map_err(SvqaError::from));
+            per_query[*orig] += dt;
+        }
+        BatchOutcome {
+            answers: answers
+                .into_iter()
+                .map(|a| a.expect("all questions accounted for"))
+                .collect(),
+            total: start.elapsed(),
+            per_query,
+            cache_stats: report.cache_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svqa_dataset::Mvqa;
+
+    fn small_system() -> (Svqa, Mvqa) {
+        let mvqa = Mvqa::generate_small(250, 11);
+        let system = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+        (system, mvqa)
+    }
+
+    #[test]
+    fn build_produces_a_connected_merged_graph() {
+        let (system, mvqa) = small_system();
+        let stats = system.build_stats();
+        assert_eq!(stats.scene_graphs, 250);
+        assert!(stats.merged_vertices > mvqa.kg.vertex_count());
+        assert!(stats.merge.links_created > 0);
+        system.merged_graph().validate().unwrap();
+    }
+
+    #[test]
+    fn answers_a_simple_judgment() {
+        let (system, _) = small_system();
+        // Pets in vehicles exist by archetype construction.
+        let a = system
+            .answer("Does the dog appear in the car?")
+            .unwrap();
+        assert!(matches!(a, Answer::Judgment(_)));
+    }
+
+    #[test]
+    fn parse_failures_are_reported_not_fatal() {
+        let (system, _) = small_system();
+        let out = system.answer_batch(&[
+            "Does the dog appear in the car?",
+            "the red dog", // no verb
+        ]);
+        assert!(out.answers[0].is_ok());
+        assert!(matches!(out.answers[1], Err(SvqaError::Parse(_))));
+    }
+
+    #[test]
+    fn incremental_ingestion_extends_the_merged_graph() {
+        let mvqa = Mvqa::generate_small(200, 11);
+        let (head, tail) = mvqa.images.split_at(150);
+        let mut incremental = Svqa::build(head, &mvqa.kg, SvqaConfig::default());
+        let before_vertices = incremental.merged_graph().vertex_count();
+        let links = incremental.add_images(tail);
+        assert!(links > 0);
+        assert!(incremental.merged_graph().vertex_count() > before_vertices);
+        assert_eq!(incremental.build_stats().scene_graphs, 200);
+        incremental.merged_graph().validate().unwrap();
+
+        // Answers over the incrementally-built graph match the batch-built
+        // one (scene-graph generation is seeded per image id, so the two
+        // paths see identical perception).
+        let full = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+        for q in [
+            "Does the dog appear in the car?",
+            "How many dogs are in the car?",
+        ] {
+            assert_eq!(incremental.answer(q).ok(), full.answer(q).ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn explained_answers_cite_images() {
+        let (system, _) = small_system();
+        let (answer, explanation) = system
+            .answer_explained("Does the dog appear in the car?")
+            .unwrap();
+        if answer.is_yes() {
+            assert!(!explanation.cited_images().is_empty());
+            assert!(explanation.fact_count() > 0);
+        } else {
+            assert_eq!(explanation.fact_count(), 0);
+        }
+    }
+
+    #[test]
+    fn batch_and_single_agree() {
+        let (system, _) = small_system();
+        let questions = [
+            "Does the dog appear in the car?",
+            "How many dogs are in the car?",
+        ];
+        let batch = system.answer_batch(&questions);
+        for (q, b) in questions.iter().zip(&batch.answers) {
+            let single = system.answer(q).unwrap();
+            assert_eq!(b.as_ref().unwrap(), &single);
+        }
+        assert!(batch.total > Duration::ZERO);
+    }
+}

@@ -1,0 +1,561 @@
+//! Ground-truth evaluation over clean scene data + the knowledge graph.
+//!
+//! Question generation needs authoritative answers. This evaluator runs a
+//! *structured* clause chain (no NLP involved) over the ground-truth
+//! scenes, using the same category-level cross-image identity semantics as
+//! the executor: "the pets situated in the car" resolves to the *category*
+//! dog (Example 7 of the paper), and that category carries over to other
+//! images. Because generation and execution share semantics, SVQA's
+//! accuracy measures its *pipeline* fidelity (detection, SGG, parsing,
+//! matching), not a semantics mismatch.
+
+use crate::kg::CHARACTER_RELATIONS;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use svqa_graph::Graph;
+use svqa_vision::scene::SyntheticImage;
+
+/// A ground-truth answer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GtAnswer {
+    /// Judgment result.
+    YesNo(bool),
+    /// Counting result.
+    Count(usize),
+    /// Reasoning result (a category or entity label).
+    Entity(String),
+}
+
+/// One structured clause: `sub —pred→ obj`, heads as category/class/entity
+/// nouns; empty string = wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainClause {
+    /// Subject head noun.
+    pub sub: String,
+    /// Predicate: a scene relation name or a knowledge-graph relation.
+    pub pred: String,
+    /// Object head noun.
+    pub obj: String,
+    /// Whether the "most frequently" constraint applies (aggregating over
+    /// the side this clause provides downstream).
+    pub most_frequent: bool,
+}
+
+/// Which SPOC side a link touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Side {
+    /// Subject side.
+    Sub,
+    /// Object side.
+    Obj,
+}
+
+/// A link: clause `provider` (deeper) feeds clause `consumer`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainLink {
+    /// Provider clause index.
+    pub provider: usize,
+    /// Consumer clause index.
+    pub consumer: usize,
+    /// Consumer slot receiving the binding.
+    pub consumer_side: Side,
+    /// Provider side the binding is read from.
+    pub provider_side: Side,
+}
+
+/// One matching clause instance: `(image idx, sub obj-idx, obj obj-idx,
+/// sub label, obj label)`; `usize::MAX` as the image marks a
+/// knowledge-graph pseudo-triple.
+type ClausePair = (usize, usize, usize, String, String);
+
+/// The ground-truth evaluator.
+pub struct GroundTruth<'a> {
+    images: &'a [SyntheticImage],
+    /// class noun → the set of labels it covers (taxonomy closure,
+    /// including the noun itself and entity names).
+    closures: HashMap<String, HashSet<String>>,
+    /// Knowledge relations as label triples.
+    kg_triples: Vec<(String, String, String)>,
+}
+
+impl<'a> GroundTruth<'a> {
+    /// Build the evaluator from the scenes and the knowledge graph.
+    pub fn new(images: &'a [SyntheticImage], kg: &Graph) -> Self {
+        // Taxonomy closure: for each vertex, the set of labels reaching it
+        // via "is a" paths (plus itself).
+        let mut closures: HashMap<String, HashSet<String>> = HashMap::new();
+        for (vid, v) in kg.vertices() {
+            let mut members: HashSet<String> = HashSet::new();
+            members.insert(v.label().to_owned());
+            // Reverse-BFS along incoming "is a" edges.
+            let mut stack = vec![vid];
+            let mut seen = HashSet::new();
+            seen.insert(vid);
+            while let Some(cur) = stack.pop() {
+                for (_, e) in kg.in_edges(cur) {
+                    if e.label() == "is a" && seen.insert(e.src()) {
+                        members.insert(kg.vertex_label(e.src()).unwrap_or_default().to_owned());
+                        stack.push(e.src());
+                    }
+                }
+            }
+            closures.insert(v.label().to_owned(), members);
+        }
+        let kg_triples = CHARACTER_RELATIONS
+            .iter()
+            .map(|&(s, r, o)| (s.to_owned(), r.to_owned(), o.to_owned()))
+            .collect();
+        GroundTruth {
+            images,
+            closures,
+            kg_triples,
+        }
+    }
+
+    /// Labels covered by a head noun (the noun itself if it is not in the
+    /// taxonomy).
+    pub fn closure(&self, head: &str) -> HashSet<String> {
+        self.closures
+            .get(head)
+            .cloned()
+            .unwrap_or_else(|| [head.to_owned()].into_iter().collect())
+    }
+
+    /// Whether `pred` is a knowledge-graph relation (vs a scene relation).
+    fn is_kg_relation(&self, pred: &str) -> bool {
+        self.kg_triples.iter().any(|(_, r, _)| r == pred)
+    }
+
+    /// Evaluate one clause: matching `(image idx, sub obj-idx, obj obj-idx)`
+    /// scene triples, or pseudo-triples for KG relations (image = usize::MAX).
+    /// Label pairs are also returned for binding propagation.
+    fn clause_pairs(
+        &self,
+        clause: &ChainClause,
+        sub_bind: Option<&HashSet<String>>,
+        obj_bind: Option<&HashSet<String>>,
+    ) -> Vec<ClausePair> {
+        let sub_set: Option<HashSet<String>> = match sub_bind {
+            Some(b) => Some(self.expand_binding(b)),
+            None if clause.sub.is_empty() => None,
+            None => Some(self.closure(&clause.sub)),
+        };
+        let obj_set: Option<HashSet<String>> = match obj_bind {
+            Some(b) => Some(self.expand_binding(b)),
+            None if clause.obj.is_empty() => None,
+            None => Some(self.closure(&clause.obj)),
+        };
+        let in_set = |set: &Option<HashSet<String>>, label: &str, category: &str| -> bool {
+            match set {
+                None => true,
+                Some(s) => s.contains(label) || s.contains(category),
+            }
+        };
+        if self.is_kg_relation(&clause.pred) {
+            return self
+                .kg_triples
+                .iter()
+                .filter(|(s, r, o)| {
+                    r == &clause.pred
+                        && in_set(&sub_set, s, s)
+                        && in_set(&obj_set, o, o)
+                })
+                .enumerate()
+                .map(|(i, (s, _, o))| (usize::MAX, i, i, s.clone(), o.clone()))
+                .collect();
+        }
+        let mut out = Vec::new();
+        for (ii, img) in self.images.iter().enumerate() {
+            for rel in &img.relations {
+                // Predicate equivalence classes (on/sitting on/…) apply —
+                // the same aliasing the executor's matching uses, so ground
+                // truth and system semantics agree.
+                if !svqa_vision::relation::predicates_aliased(&rel.pred, &clause.pred) {
+                    continue;
+                }
+                let so = &img.objects[rel.sub];
+                let oo = &img.objects[rel.obj];
+                if in_set(&sub_set, so.scene_label(), &so.category)
+                    && in_set(&obj_set, oo.scene_label(), &oo.category)
+                {
+                    out.push((
+                        ii,
+                        rel.sub,
+                        rel.obj,
+                        so.scene_label().to_owned(),
+                        oo.scene_label().to_owned(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Bindings propagate at label level; entity labels stay themselves,
+    /// category labels stay themselves (category-level identity).
+    fn expand_binding(&self, binding: &HashSet<String>) -> HashSet<String> {
+        binding.clone()
+    }
+
+    /// Evaluate a clause chain. `answer_side` is the answer slot of clause
+    /// 0; question type shapes the result.
+    pub fn eval(
+        &self,
+        clauses: &[ChainClause],
+        links: &[ChainLink],
+        qtype: svqa_qparser::QuestionType,
+        answer_side: Side,
+    ) -> GtAnswer {
+        let n = clauses.len();
+        let mut sub_bind: Vec<Option<HashSet<String>>> = vec![None; n];
+        let mut obj_bind: Vec<Option<HashSet<String>>> = vec![None; n];
+        let mut pair_sets: Vec<Vec<ClausePair>> = vec![Vec::new(); n];
+        // Execution order: providers before consumers (chains are linear,
+        // highest index deepest).
+        for i in (0..n).rev() {
+            let mut pairs =
+                self.clause_pairs(&clauses[i], sub_bind[i].as_ref(), obj_bind[i].as_ref());
+            if clauses[i].most_frequent {
+                // Aggregate on the provided side (subject by convention for
+                // our templates).
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for p in &pairs {
+                    *counts.entry(p.3.as_str()).or_insert(0) += 1;
+                }
+                if let Some(&max) = counts.values().max() {
+                    let keep: HashSet<String> = counts
+                        .iter()
+                        .filter(|(_, &c)| c == max)
+                        .map(|(l, _)| (*l).to_owned())
+                        .collect();
+                    pairs.retain(|p| keep.contains(&p.3));
+                }
+            }
+            for link in links.iter().filter(|l| l.provider == i) {
+                let labels: HashSet<String> = pairs
+                    .iter()
+                    .map(|p| match link.provider_side {
+                        Side::Sub => p.3.clone(),
+                        Side::Obj => p.4.clone(),
+                    })
+                    .collect();
+                let slot = match link.consumer_side {
+                    Side::Sub => &mut sub_bind[link.consumer],
+                    Side::Obj => &mut obj_bind[link.consumer],
+                };
+                *slot = Some(match slot.take() {
+                    Some(existing) => existing.intersection(&labels).cloned().collect(),
+                    None => labels,
+                });
+            }
+            pair_sets[i] = pairs;
+        }
+
+        match qtype {
+            svqa_qparser::QuestionType::Judgment => {
+                GtAnswer::YesNo(pair_sets.iter().all(|p| !p.is_empty()))
+            }
+            svqa_qparser::QuestionType::Counting => {
+                let distinct: HashSet<(usize, usize)> = pair_sets[0]
+                    .iter()
+                    .map(|p| match answer_side {
+                        Side::Sub => (p.0, p.1),
+                        Side::Obj => (p.0, p.2),
+                    })
+                    .collect();
+                GtAnswer::Count(distinct.len())
+            }
+            svqa_qparser::QuestionType::Reasoning => {
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for p in &pair_sets[0] {
+                    let label = match answer_side {
+                        Side::Sub => p.3.as_str(),
+                        Side::Obj => p.4.as_str(),
+                    };
+                    *counts.entry(label).or_insert(0) += 1;
+                }
+                let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+                match ranked.first() {
+                    Some((label, _)) => GtAnswer::Entity((*label).to_owned()),
+                    None => GtAnswer::Entity(String::new()),
+                }
+            }
+        }
+    }
+
+    /// Whether the reasoning answer is *unique with margin*: the top label
+    /// must beat the runner-up by at least 30% relative support. Moderately
+    /// contested rankings stay in the dataset (the paper's handwritten
+    /// questions are not noise-proof either) — they are where perception
+    /// noise costs reasoning accuracy.
+    pub fn reasoning_is_stable(
+        &self,
+        clauses: &[ChainClause],
+        links: &[ChainLink],
+        answer_side: Side,
+    ) -> bool {
+        let n = clauses.len();
+        let mut sub_bind: Vec<Option<HashSet<String>>> = vec![None; n];
+        let mut obj_bind: Vec<Option<HashSet<String>>> = vec![None; n];
+        let mut top_two: Option<(usize, usize)> = None;
+        for i in (0..n).rev() {
+            let mut pairs =
+                self.clause_pairs(&clauses[i], sub_bind[i].as_ref(), obj_bind[i].as_ref());
+            if clauses[i].most_frequent {
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for p in &pairs {
+                    *counts.entry(p.3.as_str()).or_insert(0) += 1;
+                }
+                // Constraint itself must be unambiguous.
+                let mut vals: Vec<usize> = counts.values().copied().collect();
+                vals.sort_unstable_by(|a, b| b.cmp(a));
+                if vals.len() > 1 && vals[0] == vals[1] {
+                    return false;
+                }
+                if let Some(&max) = vals.first() {
+                    let keep: HashSet<String> = counts
+                        .iter()
+                        .filter(|(_, &c)| c == max)
+                        .map(|(l, _)| (*l).to_owned())
+                        .collect();
+                    pairs.retain(|p| keep.contains(&p.3));
+                }
+            }
+            for link in links.iter().filter(|l| l.provider == i) {
+                let labels: HashSet<String> = pairs
+                    .iter()
+                    .map(|p| match link.provider_side {
+                        Side::Sub => p.3.clone(),
+                        Side::Obj => p.4.clone(),
+                    })
+                    .collect();
+                let slot = match link.consumer_side {
+                    Side::Sub => &mut sub_bind[link.consumer],
+                    Side::Obj => &mut obj_bind[link.consumer],
+                };
+                *slot = Some(labels);
+            }
+            if i == 0 {
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for p in &pairs {
+                    let label = match answer_side {
+                        Side::Sub => p.3.as_str(),
+                        Side::Obj => p.4.as_str(),
+                    };
+                    *counts.entry(label).or_insert(0) += 1;
+                }
+                let mut vals: Vec<usize> = counts.values().copied().collect();
+                vals.sort_unstable_by(|a, b| b.cmp(a));
+                top_two = Some((
+                    vals.first().copied().unwrap_or(0),
+                    vals.get(1).copied().unwrap_or(0),
+                ));
+            }
+        }
+        matches!(top_two, Some((a, b)) if a > b && a as f64 >= 1.3 * b as f64)
+    }
+
+    /// Number of images containing at least one instance matching any of
+    /// the heads involved — the "Average Images" scan-set size of Table II.
+    pub fn images_involved(&self, heads: &[&str]) -> usize {
+        let sets: Vec<HashSet<String>> = heads
+            .iter()
+            .filter(|h| !h.is_empty())
+            .map(|h| self.closure(h))
+            .collect();
+        self.images
+            .iter()
+            .filter(|img| {
+                img.objects.iter().any(|o| {
+                    sets.iter().any(|s| {
+                        s.contains(o.scene_label()) || s.contains(&o.category)
+                    })
+                })
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg::build_knowledge_graph;
+    use crate::scenes::generate_images;
+    use svqa_qparser::QuestionType;
+
+    fn clause(sub: &str, pred: &str, obj: &str) -> ChainClause {
+        ChainClause {
+            sub: sub.into(),
+            pred: pred.into(),
+            obj: obj.into(),
+            most_frequent: false,
+        }
+    }
+
+    #[test]
+    fn closure_includes_taxonomy_and_entities() {
+        let images = generate_images(10, 1);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let pets = gt.closure("pet");
+        assert!(pets.contains("dog") && pets.contains("cat") && pets.contains("pet"));
+        let animals = gt.closure("animal");
+        assert!(animals.contains("dog") && animals.contains("bird"));
+        let wizards = gt.closure("wizard");
+        assert!(wizards.contains("harry potter"));
+        // Unknown heads close over themselves.
+        assert_eq!(gt.closure("spaceship").len(), 1);
+    }
+
+    #[test]
+    fn single_clause_judgment() {
+        let images = generate_images(800, 3);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        // Pets in vehicles exist by construction of the archetypes.
+        let yes = gt.eval(
+            &[clause("pet", "in", "vehicle")],
+            &[],
+            QuestionType::Judgment,
+            Side::Sub,
+        );
+        assert_eq!(yes, GtAnswer::YesNo(true));
+        // Elephants never ride bicycles.
+        let no = gt.eval(
+            &[clause("elephant", "riding", "bicycle")],
+            &[],
+            QuestionType::Judgment,
+            Side::Sub,
+        );
+        assert_eq!(no, GtAnswer::YesNo(false));
+    }
+
+    #[test]
+    fn chained_judgment_requires_all_clauses() {
+        let images = generate_images(800, 3);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let ans = gt.eval(
+            &[
+                clause("pet", "carrying", "bird"),
+                clause("pet", "in", "vehicle"),
+            ],
+            &[ChainLink {
+                provider: 1,
+                consumer: 0,
+                consumer_side: Side::Sub,
+                provider_side: Side::Sub,
+            }],
+            QuestionType::Judgment,
+            Side::Sub,
+        );
+        // Dogs in vehicles exist and dogs carry birds → yes.
+        assert_eq!(ans, GtAnswer::YesNo(true));
+    }
+
+    #[test]
+    fn example7_reasoning() {
+        // "What kind of animals is carried by the pets that were situated
+        // in the car?" → dog carries bird → "bird".
+        let images = generate_images(1500, 3);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let ans = gt.eval(
+            &[
+                clause("pet", "carrying", "animal"),
+                clause("pet", "in", "car"),
+            ],
+            &[ChainLink {
+                provider: 1,
+                consumer: 0,
+                consumer_side: Side::Sub,
+                provider_side: Side::Sub,
+            }],
+            QuestionType::Reasoning,
+            Side::Obj,
+        );
+        assert_eq!(ans, GtAnswer::Entity("bird".into()));
+    }
+
+    #[test]
+    fn counting_counts_distinct_instances() {
+        let images = generate_images(300, 5);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let GtAnswer::Count(n) = gt.eval(
+            &[clause("pet", "in", "vehicle")],
+            &[],
+            QuestionType::Counting,
+            Side::Sub,
+        ) else {
+            panic!()
+        };
+        // Direct recount.
+        let manual: usize = images
+            .iter()
+            .map(|img| {
+                img.relations
+                    .iter()
+                    .filter(|r| {
+                        r.pred == "in"
+                            && matches!(img.objects[r.sub].category.as_str(), "dog" | "cat")
+                            && matches!(
+                                img.objects[r.obj].category.as_str(),
+                                "car" | "bus" | "truck" | "motorcycle" | "bicycle" | "train" | "boat" | "airplane"
+                            )
+                    })
+                    .count()
+            })
+            .sum();
+        assert_eq!(n, manual);
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn kg_relation_clauses() {
+        let images = generate_images(10, 1);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let ans = gt.eval(
+            &[clause("", "girlfriend of", "harry potter")],
+            &[],
+            QuestionType::Counting,
+            Side::Sub,
+        );
+        assert_eq!(ans, GtAnswer::Count(2)); // ginny + cho
+    }
+
+    #[test]
+    fn most_frequent_constraint_selects_modal_subject() {
+        let images = generate_images(3000, 5);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        // Who most frequently hangs out near ginny weasley? The ring
+        // pairing makes harry potter (her predecessor) the modal companion.
+        let ans = gt.eval(
+            &[ChainClause {
+                sub: "wizard".into(),
+                pred: "near".into(),
+                obj: "ginny weasley".into(),
+                most_frequent: true,
+            }],
+            &[],
+            QuestionType::Reasoning,
+            Side::Sub,
+        );
+        assert_eq!(ans, GtAnswer::Entity("harry potter".into()));
+    }
+
+    #[test]
+    fn images_involved_counts_scan_set() {
+        let images = generate_images(500, 9);
+        let kg = build_knowledge_graph();
+        let gt = GroundTruth::new(&images, &kg);
+        let people = gt.images_involved(&["person"]);
+        let elephants = gt.images_involved(&["elephant"]);
+        assert!(people > elephants);
+        assert!(people <= 500);
+        assert_eq!(gt.images_involved(&[]), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Dataset persistence.
+//!
+//! MVQA worlds save to a directory of JSON files (images, questions,
+//! specs, config) plus the knowledge graph — the artifact a downstream
+//! user would actually download instead of regenerating. Loading
+//! re-validates the knowledge graph and checks the question/spec files
+//! agree.
+
+use crate::kg::build_knowledge_graph;
+use crate::mvqa::{Mvqa, MvqaConfig};
+use crate::questions::{QaPair, QuestionSpec};
+use std::fmt;
+use std::path::Path;
+use svqa_vision::scene::SyntheticImage;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum DatasetIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The files do not form a consistent dataset.
+    Inconsistent(String),
+}
+
+impl fmt::Display for DatasetIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetIoError::Io(e) => write!(f, "io: {e}"),
+            DatasetIoError::Json(e) => write!(f, "json: {e}"),
+            DatasetIoError::Inconsistent(m) => write!(f, "inconsistent dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetIoError {}
+
+impl From<std::io::Error> for DatasetIoError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DatasetIoError {
+    fn from(e: serde_json::Error) -> Self {
+        DatasetIoError::Json(e)
+    }
+}
+
+/// Save a dataset into `dir` (created if missing).
+pub fn save(mvqa: &Mvqa, dir: &Path) -> Result<(), DatasetIoError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("images.json"),
+        serde_json::to_string(&mvqa.images)?,
+    )?;
+    std::fs::write(
+        dir.join("questions.json"),
+        serde_json::to_string_pretty(&mvqa.questions)?,
+    )?;
+    std::fs::write(
+        dir.join("specs.json"),
+        serde_json::to_string(&mvqa.specs)?,
+    )?;
+    std::fs::write(
+        dir.join("config.json"),
+        serde_json::to_string_pretty(&mvqa.config)?,
+    )?;
+    Ok(())
+}
+
+/// Load a dataset from `dir`. The knowledge graph is rebuilt (it is code,
+/// not data) and the files are cross-checked.
+pub fn load(dir: &Path) -> Result<Mvqa, DatasetIoError> {
+    let images: Vec<SyntheticImage> =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("images.json"))?)?;
+    let questions: Vec<QaPair> =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("questions.json"))?)?;
+    let specs: Vec<QuestionSpec> =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("specs.json"))?)?;
+    let config: MvqaConfig =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("config.json"))?)?;
+    if questions.len() != specs.len() {
+        return Err(DatasetIoError::Inconsistent(format!(
+            "{} questions but {} specs",
+            questions.len(),
+            specs.len()
+        )));
+    }
+    if images.len() != config.image_count {
+        return Err(DatasetIoError::Inconsistent(format!(
+            "{} images on disk but config says {}",
+            images.len(),
+            config.image_count
+        )));
+    }
+    Ok(Mvqa {
+        images,
+        kg: build_knowledge_graph(),
+        questions,
+        specs,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("svqa-dataset-io-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let mvqa = Mvqa::generate_small(120, 3);
+        save(&mvqa, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        assert_eq!(back.images.len(), mvqa.images.len());
+        assert_eq!(back.questions, mvqa.questions);
+        assert_eq!(back.specs, mvqa.specs);
+        assert_eq!(back.config, mvqa.config);
+        // The reloaded world answers ground truth identically.
+        let gt = crate::GroundTruth::new(&back.images, &back.kg);
+        for (q, spec) in back.questions.iter().zip(&back.specs) {
+            assert_eq!(
+                gt.eval(&spec.chain, &spec.links, spec.qtype, spec.answer_side),
+                q.answer
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        let err = load(Path::new("/definitely/not/here")).unwrap_err();
+        assert!(matches!(err, DatasetIoError::Io(_)));
+    }
+
+    #[test]
+    fn inconsistent_files_detected() {
+        let dir = tmpdir("inconsistent");
+        let mvqa = Mvqa::generate_small(60, 4);
+        save(&mvqa, &dir).unwrap();
+        // Truncate the specs file to a single entry.
+        let specs: Vec<QuestionSpec> =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("specs.json")).unwrap())
+                .unwrap();
+        std::fs::write(
+            dir.join("specs.json"),
+            serde_json::to_string(&specs[..1].to_vec()).unwrap(),
+        )
+        .unwrap();
+        let err = load(&dir).unwrap_err();
+        assert!(matches!(err, DatasetIoError::Inconsistent(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,363 @@
+//! Key-centric caching (§V-B).
+//!
+//! Two item kinds, named as in the paper:
+//! * **scope** — the result of `matchVertex` (+ semantic expansion) for a
+//!   noun phrase: "matchVertex requires to compare with all the labels of
+//!   V_mg to obtain the corresponding vertex set Sub and Obj, and we named
+//!   it as 'scope'";
+//! * **path** — the relation pairs `RP` between two scopes: "getRelationpairs
+//!   needs to traverse all neighbors … so that all relation pairs RP are
+//!   returned, and we named it as 'path'".
+//!
+//! The pool is bounded by a total *item count* (Fig. 11 sizes pools this
+//! way) shared across both kinds, with LFU (the paper's choice) or LRU
+//! eviction.
+
+use crate::matching::RelationPair;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use svqa_graph::VertexId;
+
+/// Eviction policy for the bounded pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least-frequently-used (the paper's default).
+    Lfu,
+    /// Least-recently-used (the Fig. 11 comparison point).
+    Lru,
+}
+
+/// Which item kinds are cached — the Fig. 10(b) ablation axis
+/// (No / Scope / Path / Both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheGranularity {
+    /// Caching disabled.
+    None,
+    /// Only scope items.
+    Scope,
+    /// Only path items.
+    Path,
+    /// Both (the paper's full mechanism).
+    Both,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    value: V,
+    freq: u64,
+    last_used: u64,
+}
+
+/// One bounded key-value store.
+#[derive(Debug)]
+struct Pool<V> {
+    map: HashMap<String, Entry<V>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<V> Pool<V> {
+    fn new() -> Self {
+        Pool {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn get(&mut self, key: &str, tick: u64) -> Option<&V> {
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.freq += 1;
+                e.last_used = tick;
+                self.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `(key, freq, last_used)` of the eviction candidate under `policy`.
+    fn eviction_candidate(&self, policy: EvictionPolicy) -> Option<(String, u64, u64)> {
+        self.map
+            .iter()
+            .min_by_key(|(_, e)| match policy {
+                EvictionPolicy::Lfu => (e.freq, e.last_used),
+                EvictionPolicy::Lru => (e.last_used, e.freq),
+            })
+            .map(|(k, e)| (k.clone(), e.freq, e.last_used))
+    }
+}
+
+/// The shared scope + path cache.
+#[derive(Debug)]
+pub struct KeyCentricCache {
+    granularity: CacheGranularity,
+    policy: EvictionPolicy,
+    /// Total item budget across both pools.
+    pool_size: usize,
+    scope: Pool<Arc<Vec<VertexId>>>,
+    path: Pool<Arc<Vec<RelationPair>>>,
+    tick: u64,
+}
+
+impl KeyCentricCache {
+    /// Build a cache.
+    pub fn new(granularity: CacheGranularity, policy: EvictionPolicy, pool_size: usize) -> Self {
+        KeyCentricCache {
+            granularity,
+            policy,
+            pool_size,
+            scope: Pool::new(),
+            path: Pool::new(),
+            tick: 0,
+        }
+    }
+
+    /// A disabled cache (granularity `None`).
+    pub fn disabled() -> Self {
+        Self::new(CacheGranularity::None, EvictionPolicy::Lfu, 0)
+    }
+
+    fn scope_enabled(&self) -> bool {
+        matches!(
+            self.granularity,
+            CacheGranularity::Scope | CacheGranularity::Both
+        )
+    }
+
+    fn path_enabled(&self) -> bool {
+        matches!(
+            self.granularity,
+            CacheGranularity::Path | CacheGranularity::Both
+        )
+    }
+
+    /// Look up a scope item (cheap `Arc` clone — the vertex sets over a
+    /// 4,233-image merged graph run to tens of thousands of ids, and deep
+    /// copies on every hit would eat the savings).
+    pub fn scope_get(&mut self, key: &str) -> Option<Arc<Vec<VertexId>>> {
+        if !self.scope_enabled() {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.scope.get(key, tick).cloned()
+    }
+
+    /// Store a scope item.
+    pub fn scope_put(&mut self, key: &str, value: Arc<Vec<VertexId>>) {
+        if !self.scope_enabled() || self.pool_size == 0 {
+            return;
+        }
+        self.make_room();
+        self.tick += 1;
+        self.scope.map.insert(
+            key.to_owned(),
+            Entry {
+                value,
+                freq: 1,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Look up a path item (cheap `Arc` clone).
+    pub fn path_get(&mut self, key: &str) -> Option<Arc<Vec<RelationPair>>> {
+        if !self.path_enabled() {
+            return None;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.path.get(key, tick).cloned()
+    }
+
+    /// Store a path item.
+    pub fn path_put(&mut self, key: &str, value: Arc<Vec<RelationPair>>) {
+        if !self.path_enabled() || self.pool_size == 0 {
+            return;
+        }
+        self.make_room();
+        self.tick += 1;
+        self.path.map.insert(
+            key.to_owned(),
+            Entry {
+                value,
+                freq: 1,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Evict until one slot is free, choosing the globally least-valuable
+    /// entry under the policy.
+    fn make_room(&mut self) {
+        while self.len() >= self.pool_size && !self.is_empty() {
+            let scope_cand = self.scope.eviction_candidate(self.policy);
+            let path_cand = self.path.eviction_candidate(self.policy);
+            let evict_scope = match (&scope_cand, &path_cand) {
+                (Some(s), Some(p)) => match self.policy {
+                    EvictionPolicy::Lfu => (s.1, s.2) <= (p.1, p.2),
+                    EvictionPolicy::Lru => (s.2, s.1) <= (p.2, p.1),
+                },
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return,
+            };
+            if evict_scope {
+                let key = scope_cand.expect("checked above").0;
+                self.scope.map.remove(&key);
+            } else {
+                let key = path_cand.expect("checked above").0;
+                self.path.map.remove(&key);
+            }
+        }
+    }
+
+    /// Items currently held (scope + path).
+    pub fn len(&self) -> usize {
+        self.scope.map.len() + self.path.map.len()
+    }
+
+    /// Whether the cache holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(scope hits, scope misses, path hits, path misses)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.scope.hits,
+            self.scope.misses,
+            self.path.hits,
+            self.path.misses,
+        )
+    }
+
+    /// Approximate heap bytes held by cached values (a scope item is a
+    /// vertex-id vector; a path item a relation-pair vector — the paper
+    /// reports ≈6 KB and ≈96 KB per item on MVQA).
+    pub fn value_bytes(&self) -> usize {
+        let scope: usize = self
+            .scope
+            .map
+            .values()
+            .map(|e| e.value.len() * std::mem::size_of::<VertexId>())
+            .sum();
+        let path: usize = self
+            .path
+            .map
+            .values()
+            .map(|e| e.value.len() * std::mem::size_of::<RelationPair>())
+            .sum();
+        scope + path
+    }
+
+    /// The configured granularity.
+    pub fn granularity(&self) -> CacheGranularity {
+        self.granularity
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::from_index(i)
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut c = KeyCentricCache::disabled();
+        c.scope_put("dog", Arc::new(vec![vid(1)]));
+        c.path_put("dog|car", Arc::new(vec![]));
+        assert!(c.is_empty());
+        assert_eq!(c.scope_get("dog"), None);
+    }
+
+    #[test]
+    fn scope_roundtrip_and_stats() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 10);
+        assert_eq!(c.scope_get("dog"), None); // miss
+        c.scope_put("dog", Arc::new(vec![vid(1), vid(2)]));
+        assert_eq!(c.scope_get("dog"), Some(Arc::new(vec![vid(1), vid(2)]))); // hit
+        let (h, m, _, _) = c.stats();
+        assert_eq!((h, m), (1, 1));
+        assert!(c.value_bytes() > 0);
+    }
+
+    #[test]
+    fn granularity_scope_only() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 10);
+        c.scope_put("dog", Arc::new(vec![vid(1)]));
+        c.path_put("k", Arc::new(vec![]));
+        assert_eq!(c.len(), 1);
+        assert!(c.scope_get("dog").is_some());
+        assert!(c.path_get("k").is_none());
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 2);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        c.scope_put("b", Arc::new(vec![vid(2)]));
+        // Touch "a" twice so "b" is least frequent.
+        c.scope_get("a");
+        c.scope_get("a");
+        c.scope_put("c", Arc::new(vec![vid(3)]));
+        assert!(c.scope_get("a").is_some());
+        assert!(c.scope_get("b").is_none());
+        assert!(c.scope_get("c").is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lru, 2);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        c.scope_put("b", Arc::new(vec![vid(2)]));
+        // "a" used many times long ago; "b" used once, recently.
+        c.scope_get("a");
+        c.scope_get("a");
+        c.scope_get("b");
+        c.scope_put("c", Arc::new(vec![vid(3)]));
+        // LRU evicts "a" (older last_used) despite higher frequency.
+        assert!(c.scope_get("a").is_none());
+        assert!(c.scope_get("b").is_some());
+    }
+
+    #[test]
+    fn shared_budget_across_pools() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 2);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        c.path_put("p", Arc::new(vec![]));
+        assert_eq!(c.len(), 2);
+        c.scope_put("b", Arc::new(vec![vid(2)]));
+        assert_eq!(c.len(), 2); // one of the old entries was evicted
+    }
+
+    #[test]
+    fn zero_pool_accepts_nothing() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 0);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overwrite_same_key_keeps_len() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 5);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        c.scope_put("a", Arc::new(vec![vid(2)]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.scope_get("a"), Some(Arc::new(vec![vid(2)])));
+    }
+}

@@ -1,0 +1,656 @@
+//! Algorithm 3: `QueryGraphExecutor`.
+//!
+//! Processes the query graph's vertices in dependency order. For each
+//! vertex `u = [c_s, c_p, c_o, c_c]`:
+//!
+//! * **Query stage** — resolve `Sub`/`Obj` via `matchVertex` + semantic
+//!   expansion (or a binding propagated from an earlier vertex), collect
+//!   the relation pairs `RP` between them, pick the predicate label `P`
+//!   with `maxScore(L(c_p), T)` and the constraint with
+//!   `maxScore(L(c_c), 𝕊)`, and filter `RP` down to `AP`;
+//! * **Update stage** — push `AP`'s subject or object vertices into the
+//!   dependent slots of neighbouring vertices (S2S/S2O/O2S/O2O);
+//! * **`getFinalanswer`** — shape the answer by question type (yes/no,
+//!   count of scene instances, or ranked entity labels).
+
+use crate::answer::Answer;
+use crate::cache::KeyCentricCache;
+use crate::matching::{RelationPair, VertexMatcher};
+use crate::words::Constraint;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::collections::HashMap;
+use std::fmt;
+use svqa_graph::{Graph, VertexId};
+use svqa_qparser::{AnswerRole, Dependency, NounPhrase, QueryGraph, QuestionType};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorConfig {
+    /// Levenshtein similarity threshold for `matchVertex`.
+    pub lev_threshold: f64,
+    /// Embedding similarity threshold for the `matchVertex` fallback.
+    pub embed_threshold: f32,
+    /// Predicate filter slack: keep pairs whose edge-label similarity is
+    /// within this margin of the best label's similarity.
+    pub filter_slack: f32,
+    /// Absolute predicate similarity floor: a pair is kept only if its edge
+    /// label clears this similarity to `c_p` outright. Without it, a query
+    /// whose true predicate is absent from `RP` would keep every pair
+    /// matching the best *wrong* label.
+    pub min_predicate_similarity: f32,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            lev_threshold: 0.8,
+            embed_threshold: 0.6,
+            filter_slack: 0.25,
+            min_predicate_similarity: 0.45,
+        }
+    }
+}
+
+/// Structural execution errors (empty answers are *not* errors — they
+/// produce `No` / `0` / `Unknown`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The query graph has no vertices.
+    EmptyQueryGraph,
+    /// The dependency edges form a cycle.
+    CyclicQueryGraph,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::EmptyQueryGraph => write!(f, "empty query graph"),
+            ExecError::CyclicQueryGraph => write!(f, "cyclic query graph"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Per-vertex execution trace (for examples and error analysis).
+#[derive(Debug, Clone, Default)]
+pub struct VertexTrace {
+    /// Subject-scope size after expansion.
+    pub sub_count: usize,
+    /// Object-scope size after expansion.
+    pub obj_count: usize,
+    /// Relation pairs before filtering.
+    pub rp_count: usize,
+    /// The predicate label `P` chosen by `maxScore`.
+    pub chosen_predicate: Option<String>,
+    /// Relation pairs after filtering (`AP`).
+    pub ap_count: usize,
+}
+
+/// Internal result of one Algorithm-3 run: answer, per-vertex traces, and
+/// per-vertex accepted pairs.
+type RunOutput = (Answer, Vec<VertexTrace>, Vec<Vec<RelationPair>>);
+
+/// The executor.
+pub struct QueryGraphExecutor<'g> {
+    graph: &'g Graph,
+    matcher: VertexMatcher<'g>,
+    config: ExecutorConfig,
+    /// `T ← getLabels(E_mg)` (Algorithm 3 line 2), computed once.
+    edge_labels: Vec<String>,
+}
+
+impl<'g> QueryGraphExecutor<'g> {
+    /// Build an executor over a merged graph with default configuration.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self::with_config(graph, ExecutorConfig::default())
+    }
+
+    /// Build an executor with explicit configuration.
+    pub fn with_config(graph: &'g Graph, config: ExecutorConfig) -> Self {
+        let mut matcher = VertexMatcher::new(graph);
+        matcher.lev_threshold = config.lev_threshold;
+        matcher.embed_threshold = config.embed_threshold;
+        let mut edge_labels: Vec<String> = graph
+            .edge_label_counts()
+            .map(|(l, _)| l.to_owned())
+            .collect();
+        edge_labels.sort();
+        QueryGraphExecutor {
+            graph,
+            matcher,
+            config,
+            edge_labels,
+        }
+    }
+
+    /// Execute a query graph without caching.
+    pub fn execute(&self, gq: &QueryGraph) -> Result<Answer, ExecError> {
+        self.execute_cached(gq, None).map(|(a, _)| a)
+    }
+
+    /// Execute and return the answer together with its provenance (the
+    /// support facts behind every query-graph vertex).
+    pub fn execute_explained(
+        &self,
+        gq: &QueryGraph,
+    ) -> Result<(Answer, crate::explain::Explanation), ExecError> {
+        let (answer, _traces, aps) = self.run(gq, None)?;
+        Ok((answer, crate::explain::Explanation::from_aps(self.graph, &aps)))
+    }
+
+    /// Execute with an optional shared key-centric cache; returns the
+    /// answer and the per-vertex trace.
+    pub fn execute_cached(
+        &self,
+        gq: &QueryGraph,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> Result<(Answer, Vec<VertexTrace>), ExecError> {
+        let (answer, traces, _aps) = self.run(gq, cache)?;
+        Ok((answer, traces))
+    }
+
+    /// The Algorithm 3 main loop, returning the answer, traces, and every
+    /// vertex's accepted pairs.
+    fn run(
+        &self,
+        gq: &QueryGraph,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> Result<RunOutput, ExecError> {
+        if gq.is_empty() {
+            return Err(ExecError::EmptyQueryGraph);
+        }
+        let order = gq.execution_order().ok_or(ExecError::CyclicQueryGraph)?;
+
+        let n = gq.len();
+        let mut sub_binding: Vec<Option<Vec<VertexId>>> = vec![None; n];
+        let mut obj_binding: Vec<Option<Vec<VertexId>>> = vec![None; n];
+        let mut aps: Vec<Vec<RelationPair>> = vec![Vec::new(); n];
+        let mut traces = vec![VertexTrace::default(); n];
+
+        for &u in &order {
+            let spoc = &gq.vertices[u];
+            // --- Query stage ---
+            // A path-cache hit short-circuits the whole stage: the cached
+            // relation pairs subsume the scope lookups, so neither
+            // `matchVertex` runs (this is why path items are the heavier
+            // savings in Fig. 10b).
+            let cacheable = sub_binding[u].is_none() && obj_binding[u].is_none();
+            let path_key = format!("{}|{}", spoc.subject.phrase, spoc.object.phrase);
+            let cached_rp = if cacheable {
+                cache.and_then(|c| c.lock().path_get(&path_key))
+            } else {
+                None
+            };
+            let rp: Arc<Vec<RelationPair>> = match cached_rp {
+                Some(hit) => hit,
+                None => {
+                    let subs =
+                        self.resolve_slot(&spoc.subject, sub_binding[u].as_deref(), cache);
+                    let objs =
+                        self.resolve_slot(&spoc.object, obj_binding[u].as_deref(), cache);
+                    let sub_slice = subs.as_ref().map(|v| v.as_slice());
+                    let obj_slice = objs.as_ref().map(|v| v.as_slice());
+                    traces[u].sub_count = sub_slice.map_or(0, <[VertexId]>::len);
+                    traces[u].obj_count = obj_slice.map_or(0, <[VertexId]>::len);
+                    let rp = match (sub_slice, obj_slice) {
+                        (Some(s), Some(o)) => self.matcher.relations_between(s, o),
+                        (Some(s), None) => self.matcher.relations_around(s, true),
+                        (None, Some(o)) => self.matcher.relations_around(o, false),
+                        (None, None) => Vec::new(),
+                    };
+                    let rp = Arc::new(rp);
+                    if cacheable {
+                        if let Some(c) = cache {
+                            c.lock().path_put(&path_key, Arc::clone(&rp));
+                        }
+                    }
+                    rp
+                }
+            };
+            traces[u].rp_count = rp.len();
+
+            // maxScore(L(c_p), T) over the labels actually present in RP.
+            let mut ap = self.filter_by_predicate(&spoc.predicate, rp.as_ref().clone(), &mut traces[u]);
+
+            // Constraint (maxScore over 𝕊 + frequency aggregation).
+            if let Some(cc) = &spoc.constraint {
+                let constraint = Constraint::max_score(cc, self.matcher.embedder());
+                let operand = Constraint::parse_operand(cc);
+                let side = self.constrained_side(gq, u);
+                ap = apply_constraint(self.graph, ap, constraint, side, operand);
+            }
+            traces[u].ap_count = ap.len();
+
+            // --- Update stage ---
+            for edge in gq.out_edges(u) {
+                let provided: Vec<VertexId> = match edge.dependency {
+                    Dependency::S2S | Dependency::O2S => {
+                        dedup(ap.iter().map(|p| p.sub).collect())
+                    }
+                    Dependency::S2O | Dependency::O2O => {
+                        dedup(ap.iter().map(|p| p.obj).collect())
+                    }
+                };
+                let slot = match edge.dependency {
+                    Dependency::S2S | Dependency::S2O => &mut sub_binding[edge.consumer],
+                    Dependency::O2S | Dependency::O2O => &mut obj_binding[edge.consumer],
+                };
+                *slot = Some(match slot.take() {
+                    // Two providers constrain the same slot: intersect.
+                    Some(existing) => existing
+                        .into_iter()
+                        .filter(|v| provided.contains(v))
+                        .collect(),
+                    None => provided,
+                });
+            }
+            aps[u] = ap;
+        }
+
+        // --- getFinalanswer ---
+        let answer_vertex = gq.answer_vertex();
+        let ap = &aps[answer_vertex];
+        let spoc = &gq.vertices[answer_vertex];
+        let side = spoc.answer_role.unwrap_or(AnswerRole::Object);
+        let answer_vertices: Vec<VertexId> = dedup(match side {
+            AnswerRole::Subject => ap.iter().map(|p| p.sub).collect(),
+            AnswerRole::Object => ap.iter().map(|p| p.obj).collect(),
+        });
+        let answer = match gq.question_type {
+            // Every clause is a conjunct: the judgment holds only if every
+            // vertex found supporting evidence (bindings already force
+            // chained clauses; this additionally covers disconnected
+            // conjuncts).
+            QuestionType::Judgment => {
+                Answer::Judgment(aps.iter().all(|a| !a.is_empty()))
+            }
+            // (answer construction continues below)
+            QuestionType::Counting => {
+                Answer::Count(self.count_scene_instances(&answer_vertices))
+            }
+            QuestionType::Reasoning => {
+                Answer::entity_from_ranked(self.ranked_labels(&answer_vertices))
+            }
+        };
+        Ok((answer, traces, aps))
+    }
+
+    /// Resolve a SPOC slot to its vertex scope: a propagated binding
+    /// (expanded), a cached scope, or a fresh `matchVertex` + expansion.
+    /// `None` = wildcard.
+    fn resolve_slot(
+        &self,
+        np: &NounPhrase,
+        binding: Option<&[VertexId]>,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> Option<Arc<Vec<VertexId>>> {
+        if let Some(bound) = binding {
+            return Some(Arc::new(self.matcher.expand_semantic(bound)));
+        }
+        if np.is_empty() {
+            return None;
+        }
+        if let Some(cache) = cache {
+            if let Some(hit) = cache.lock().scope_get(&np.phrase) {
+                return Some(hit);
+            }
+        }
+        let matched = self.matcher.match_vertex(&np.phrase, &np.head);
+        let expanded = Arc::new(self.matcher.expand_semantic(&matched));
+        if let Some(cache) = cache {
+            cache.lock().scope_put(&np.phrase, Arc::clone(&expanded));
+        }
+        Some(expanded)
+    }
+
+    /// The `maxScore`/`filter` pair of Algorithm 3 lines 8 and 10: find the
+    /// edge label most similar to `c_p` among the labels present in `RP`,
+    /// keep pairs within `filter_slack` of that best similarity.
+    fn filter_by_predicate(
+        &self,
+        predicate: &str,
+        rp: Vec<RelationPair>,
+        trace: &mut VertexTrace,
+    ) -> Vec<RelationPair> {
+        if rp.is_empty() || predicate.is_empty() {
+            return rp;
+        }
+        // Distinct labels present in RP (usually a handful).
+        let mut label_sims: HashMap<&str, f32> = HashMap::new();
+        for p in &rp {
+            let label = self.graph.edge_label(p.edge).expect("edge exists");
+            label_sims.entry(label).or_insert_with(|| {
+                self.matcher.embedder().similarity(predicate, label)
+            });
+        }
+        let (&best_label, &best_sim) = label_sims
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("rp non-empty");
+        trace.chosen_predicate = Some(best_label.to_owned());
+        let cutoff = (best_sim - self.config.filter_slack)
+            .max(self.config.min_predicate_similarity);
+        rp.into_iter()
+            .filter(|p| {
+                let label = self.graph.edge_label(p.edge).expect("edge exists");
+                label_sims[label] >= cutoff
+            })
+            .collect()
+    }
+
+    /// Which AP side a constraint aggregates over: the side this vertex
+    /// provides downstream, else its answer side, else the subject.
+    fn constrained_side(&self, gq: &QueryGraph, u: usize) -> AnswerRole {
+        if let Some(edge) = gq.out_edges(u).next() {
+            return match edge.dependency {
+                Dependency::S2S | Dependency::O2S => AnswerRole::Subject,
+                Dependency::S2O | Dependency::O2O => AnswerRole::Object,
+            };
+        }
+        gq.vertices[u].answer_role.unwrap_or(AnswerRole::Subject)
+    }
+
+    /// Count distinct scene-instance vertices (those carrying an `image`
+    /// property) — counting questions accumulate visual evidence, not
+    /// knowledge-graph concepts.
+    fn count_scene_instances(&self, vertices: &[VertexId]) -> usize {
+        let instances = vertices
+            .iter()
+            .filter(|&&v| {
+                self.graph
+                    .vertex(v)
+                    .is_some_and(|vx| vx.props().get("image").is_some())
+            })
+            .count();
+        if instances > 0 {
+            instances
+        } else {
+            vertices.len()
+        }
+    }
+
+    /// Labels of the answer vertices ranked by support (count desc, then
+    /// alphabetically).
+    fn ranked_labels(&self, vertices: &[VertexId]) -> Vec<String> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &v in vertices {
+            if let Some(label) = self.graph.vertex_label(v) {
+                *counts.entry(label).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(&str, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        ranked.into_iter().map(|(l, _)| l.to_owned()).collect()
+    }
+
+    /// The edge-label inventory `T` of the merged graph.
+    pub fn edge_labels(&self) -> &[String] {
+        &self.edge_labels
+    }
+}
+
+/// Frequency-constraint application: group `AP` by the label of the
+/// constrained side, keep the group(s) with max/min support.
+fn apply_constraint(
+    graph: &Graph,
+    ap: Vec<RelationPair>,
+    constraint: Constraint,
+    side: AnswerRole,
+    operand: Option<usize>,
+) -> Vec<RelationPair> {
+    // All constraints aggregate support per label of the constrained side.
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for p in &ap {
+        let v = match side {
+            AnswerRole::Subject => p.sub,
+            AnswerRole::Object => p.obj,
+        };
+        if let Some(label) = graph.vertex_label(v) {
+            *counts.entry(label).or_insert(0) += 1;
+        }
+    }
+    let keep = |count: usize| -> bool {
+        match constraint {
+            Constraint::MostFrequent => Some(count) == counts.values().max().copied(),
+            Constraint::LeastFrequent => Some(count) == counts.values().min().copied(),
+            // Numeric comparators without an operand pass everything
+            // through (a malformed question should degrade, not filter
+            // arbitrarily).
+            Constraint::AtLeast => operand.is_none_or(|n| count >= n),
+            Constraint::AtMost => operand.is_none_or(|n| count <= n),
+            Constraint::Exactly => operand.is_none_or(|n| count == n),
+        }
+    };
+    if counts.is_empty() {
+        return ap;
+    }
+    ap.into_iter()
+        .filter(|p| {
+            let v = match side {
+                AnswerRole::Subject => p.sub,
+                AnswerRole::Object => p.obj,
+            };
+            graph
+                .vertex_label(v)
+                .is_some_and(|l| counts.get(l).copied().is_some_and(&keep))
+        })
+        .collect()
+}
+
+fn dedup(mut v: Vec<VertexId>) -> Vec<VertexId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svqa_graph::{GraphBuilder, Properties, PropValue};
+    use svqa_qparser::QueryGraphGenerator;
+
+    /// Build a miniature merged graph realizing the paper's Example 1:
+    /// a knowledge graph of Harry Potter characters plus scene instances
+    /// across "images".
+    fn example1_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        // Knowledge graph.
+        b.triple("ginny weasley", "girlfriend of", "harry potter")
+            .triple("cho chang", "girlfriend of", "harry potter")
+            .triple("neville", "is a", "wizard")
+            .triple("ron", "is a", "wizard")
+            .triple("harry potter", "is a", "wizard")
+            .triple("robe", "is a", "clothes")
+            .triple("hat", "is a", "clothes")
+            .triple("dog", "is a", "pet")
+            .triple("cat", "is a", "pet")
+            .triple("pet", "is a", "animal")
+            .triple("bird", "is a", "animal");
+        let mut g = b.build();
+
+        // Scene instances: helper that adds an instance with image prop and
+        // a same-as link to the KG entity.
+        let add_instance = |g: &mut Graph, label: &str, image: i64| {
+            let props: Properties = [("image", PropValue::Int(image))].into_iter().collect();
+            let v = g.add_vertex_with_props(label, props);
+            if let Some(&kg) = g.vertices_with_label(label).first() {
+                if kg != v {
+                    g.add_edge(v, kg, "same as").unwrap();
+                    g.add_edge(kg, v, "same as").unwrap();
+                }
+            }
+            v
+        };
+
+        // Image 1: neville near ginny. Image 2: neville near ginny.
+        // Image 3: ron near cho. Image 4: neville wearing a robe.
+        let n1 = add_instance(&mut g, "neville", 1);
+        let g1 = add_instance(&mut g, "ginny weasley", 1);
+        g.add_edge(n1, g1, "near").unwrap();
+        let n2 = add_instance(&mut g, "neville", 2);
+        let g2 = add_instance(&mut g, "ginny weasley", 2);
+        g.add_edge(n2, g2, "near").unwrap();
+        let r3 = add_instance(&mut g, "ron", 3);
+        let c3 = add_instance(&mut g, "cho chang", 3);
+        g.add_edge(r3, c3, "near").unwrap();
+        let n4 = add_instance(&mut g, "neville", 4);
+        let robe4 = add_instance(&mut g, "robe", 4);
+        g.add_edge(n4, robe4, "wearing").unwrap();
+        // Distractor: ron wearing a hat.
+        let r5 = add_instance(&mut g, "ron", 5);
+        let hat5 = add_instance(&mut g, "hat", 5);
+        g.add_edge(r5, hat5, "wearing").unwrap();
+        g
+    }
+
+    fn run(graph: &Graph, question: &str) -> Answer {
+        let gq = QueryGraphGenerator::new().generate(question).unwrap();
+        QueryGraphExecutor::new(graph).execute(&gq).unwrap()
+    }
+
+    #[test]
+    fn example1_end_to_end() {
+        // "What kind of clothes are worn by the wizard who is most
+        // frequently hanging out with Harry Potter's girlfriend?"
+        // Ginny/Cho are HP's girlfriends; neville co-appears with them
+        // twice, ron once → neville; neville wears a robe.
+        let g = example1_graph();
+        let a = run(
+            &g,
+            "What kind of clothes are worn by the wizard who is most frequently hanging out with Harry Potter's girlfriend?",
+        );
+        assert_eq!(a.entity_label(), Some("robe"), "{a:?}");
+    }
+
+    #[test]
+    fn judgment_yes_and_no() {
+        let g = example1_graph();
+        let yes = run(&g, "Does the wizard appear near Harry Potter's girlfriend?");
+        assert!(yes.is_yes(), "{yes:?}");
+        let no = run(&g, "Does the dog appear near Harry Potter's girlfriend?");
+        assert_eq!(no, Answer::Judgment(false));
+    }
+
+    #[test]
+    fn counting_counts_scene_instances() {
+        let g = example1_graph();
+        // Ginny AND Cho are Harry's girlfriends (Example 1); wizard
+        // instances near either: n1, n2 (near ginny) and r3 (near cho).
+        let a = run(&g, "How many wizards are near Harry Potter's girlfriend?");
+        assert_eq!(a, Answer::Count(3), "{a:?}");
+    }
+
+    #[test]
+    fn reasoning_without_constraint_ranks_by_support() {
+        let g = example1_graph();
+        let a = run(&g, "What kind of clothes are worn by the wizard?");
+        // Both robe and hat are worn by wizards; ranked answer includes
+        // both with a deterministic top.
+        match a {
+            Answer::Entity { label, alternatives } => {
+                let mut all = vec![label];
+                all.extend(alternatives);
+                all.sort();
+                assert_eq!(all, vec!["hat", "robe"]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_query_graph_is_error() {
+        let g = example1_graph();
+        let gq = QueryGraph {
+            vertices: vec![],
+            edges: vec![],
+            question_type: QuestionType::Reasoning,
+            question: String::new(),
+        };
+        assert_eq!(
+            QueryGraphExecutor::new(&g).execute(&gq),
+            Err(ExecError::EmptyQueryGraph)
+        );
+    }
+
+    #[test]
+    fn unknown_entity_yields_unknown() {
+        let g = example1_graph();
+        let a = run(&g, "What kind of clothes are worn by the elephant?");
+        assert_eq!(a, Answer::Unknown);
+    }
+
+    #[test]
+    fn cache_speeds_up_and_preserves_answers() {
+        use crate::cache::{CacheGranularity, EvictionPolicy};
+        let g = example1_graph();
+        let gen = QueryGraphGenerator::new();
+        let exec = QueryGraphExecutor::new(&g);
+        let questions = [
+            "What kind of clothes are worn by the wizard?",
+            "What kind of clothes are worn by the wizard?",
+            "Does the wizard appear near Harry Potter's girlfriend?",
+        ];
+        let cache = Mutex::new(KeyCentricCache::new(
+            CacheGranularity::Both,
+            EvictionPolicy::Lfu,
+            100,
+        ));
+        let mut cached_answers = Vec::new();
+        for q in &questions {
+            let gq = gen.generate(q).unwrap();
+            cached_answers.push(exec.execute_cached(&gq, Some(&cache)).unwrap().0);
+        }
+        let mut plain_answers = Vec::new();
+        for q in &questions {
+            let gq = gen.generate(q).unwrap();
+            plain_answers.push(exec.execute(&gq).unwrap());
+        }
+        assert_eq!(cached_answers, plain_answers);
+        let (sh, _, ph, _) = cache.lock().stats();
+        assert!(sh > 0, "expected scope hits, stats={:?}", cache.lock().stats());
+        assert!(ph > 0, "expected path hits");
+    }
+
+    #[test]
+    fn numeric_constraints_filter_by_support() {
+        // neville appears near girlfriends twice (images 1+2), ron once
+        // (image 3). "at least 2" keeps only neville's pairs; "exactly 1"
+        // keeps only ron's.
+        let g = example1_graph();
+        let build = |constraint: &str| {
+            svqa_qparser::QueryBuilder::counting()
+                .clause("wizard", "near", "girlfriend")
+                .constraint(constraint)
+                .answer_is_subject()
+                .wildcard_subject_clause("girlfriend of", "harry potter")
+                .depend(1, 0, Dependency::O2S)
+                .build()
+                .unwrap()
+        };
+        let exec = QueryGraphExecutor::new(&g);
+        let at_least_2 = exec.execute(&build("at least 2")).unwrap();
+        assert_eq!(at_least_2, Answer::Count(2), "{at_least_2:?}"); // n1, n2
+        let exactly_1 = exec.execute(&build("exactly 1")).unwrap();
+        assert_eq!(exactly_1, Answer::Count(1), "{exactly_1:?}"); // r3
+        let at_most_1 = exec.execute(&build("at most 1")).unwrap();
+        assert_eq!(at_most_1, Answer::Count(1), "{at_most_1:?}");
+    }
+
+    #[test]
+    fn traces_record_pipeline_sizes() {
+        let g = example1_graph();
+        let gq = QueryGraphGenerator::new()
+            .generate("What kind of clothes are worn by the wizard?")
+            .unwrap();
+        let (_, traces) = QueryGraphExecutor::new(&g)
+            .execute_cached(&gq, None)
+            .unwrap();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].sub_count > 0);
+        assert!(traces[0].obj_count > 0);
+        assert_eq!(traces[0].chosen_predicate.as_deref(), Some("wearing"));
+        assert!(traces[0].ap_count > 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Answer provenance.
+//!
+//! A cross-source answer is only as trustworthy as its evidence. This
+//! module renders the answer vertex's accepted relation pairs (`AP`) into
+//! human-readable *support facts* — which images (or knowledge-graph
+//! entries) back the answer, through which matched triple. The paper's
+//! Example 5 walks exactly this evidence chain by hand; here it is a
+//! first-class API (`QueryGraphExecutor::execute_explained`).
+
+use crate::matching::RelationPair;
+use serde::{Deserialize, Serialize};
+use svqa_graph::Graph;
+
+/// One piece of supporting evidence behind an answer.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SupportFact {
+    /// Image id when the fact is visual evidence; `None` for
+    /// knowledge-graph facts.
+    pub image: Option<i64>,
+    /// Subject label.
+    pub subject: String,
+    /// Matched edge label.
+    pub predicate: String,
+    /// Object label.
+    pub object: String,
+}
+
+impl SupportFact {
+    /// Render like the paper's triple notation.
+    pub fn display(&self) -> String {
+        match self.image {
+            Some(img) => format!(
+                "{{{}, {}, {}}} @ image {}",
+                self.subject, self.predicate, self.object, img
+            ),
+            None => format!(
+                "{{{}, {}, {}}} @ knowledge graph",
+                self.subject, self.predicate, self.object
+            ),
+        }
+    }
+}
+
+/// The full explanation of an answer: per-clause support facts, clause 0
+/// (the answer clause) first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Per-query-graph-vertex supporting facts.
+    pub per_vertex: Vec<Vec<SupportFact>>,
+}
+
+impl Explanation {
+    /// Build from the executor's accepted pairs.
+    pub(crate) fn from_aps(graph: &Graph, aps: &[Vec<RelationPair>]) -> Self {
+        let per_vertex = aps
+            .iter()
+            .map(|ap| {
+                let mut facts: Vec<SupportFact> = ap
+                    .iter()
+                    .map(|p| SupportFact {
+                        image: graph
+                            .vertex(p.sub)
+                            .and_then(|v| v.props().get("image"))
+                            .and_then(|x| x.as_int())
+                            .or_else(|| {
+                                graph
+                                    .vertex(p.obj)
+                                    .and_then(|v| v.props().get("image"))
+                                    .and_then(|x| x.as_int())
+                            }),
+                        subject: graph.vertex_label(p.sub).unwrap_or("?").to_owned(),
+                        predicate: graph.edge_label(p.edge).unwrap_or("?").to_owned(),
+                        object: graph.vertex_label(p.obj).unwrap_or("?").to_owned(),
+                    })
+                    .collect();
+                facts.sort();
+                facts.dedup();
+                facts
+            })
+            .collect();
+        Explanation { per_vertex }
+    }
+
+    /// Facts supporting the final answer (vertex 0 by query-graph
+    /// convention; falls back to the first non-empty vertex).
+    pub fn answer_support(&self) -> &[SupportFact] {
+        self.per_vertex
+            .first()
+            .filter(|f| !f.is_empty())
+            .or_else(|| self.per_vertex.iter().find(|f| !f.is_empty()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct image ids cited anywhere in the explanation.
+    pub fn cited_images(&self) -> Vec<i64> {
+        let mut ids: Vec<i64> = self
+            .per_vertex
+            .iter()
+            .flatten()
+            .filter_map(|f| f.image)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Total number of support facts.
+    pub fn fact_count(&self) -> usize {
+        self.per_vertex.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::QueryGraphExecutor;
+    use svqa_graph::{Properties, PropValue};
+    use svqa_qparser::QueryGraphGenerator;
+
+    fn world() -> Graph {
+        let mut g = Graph::new();
+        let kg_dog = g.add_vertex("dog");
+        let props: Properties = [("image", PropValue::Int(7))].into_iter().collect();
+        let scene_dog = g.add_vertex_with_props("dog", props);
+        let props: Properties = [("image", PropValue::Int(7))].into_iter().collect();
+        let car = g.add_vertex_with_props("car", props);
+        g.add_edge(scene_dog, car, "in").unwrap();
+        g.add_edge(scene_dog, kg_dog, "same as").unwrap();
+        g.add_edge(kg_dog, scene_dog, "same as").unwrap();
+        g
+    }
+
+    #[test]
+    fn explanation_cites_the_supporting_image() {
+        let g = world();
+        let gq = QueryGraphGenerator::new()
+            .generate("Does the dog appear in the car?")
+            .unwrap();
+        let ex = QueryGraphExecutor::new(&g);
+        let (answer, explanation) = ex.execute_explained(&gq).unwrap();
+        assert!(answer.is_yes());
+        assert_eq!(explanation.cited_images(), vec![7]);
+        let support = explanation.answer_support();
+        assert_eq!(support.len(), 1);
+        assert_eq!(support[0].predicate, "in");
+        assert!(support[0].display().contains("image 7"));
+    }
+
+    #[test]
+    fn negative_answers_have_no_support() {
+        let g = world();
+        let gq = QueryGraphGenerator::new()
+            .generate("Does the cat appear in the car?")
+            .unwrap();
+        let (answer, explanation) = QueryGraphExecutor::new(&g)
+            .execute_explained(&gq)
+            .unwrap();
+        assert_eq!(answer, crate::Answer::Judgment(false));
+        assert_eq!(explanation.fact_count(), 0);
+        assert!(explanation.answer_support().is_empty());
+    }
+
+    #[test]
+    fn kg_facts_have_no_image() {
+        let fact = SupportFact {
+            image: None,
+            subject: "ginny weasley".into(),
+            predicate: "girlfriend of".into(),
+            object: "harry potter".into(),
+        };
+        assert!(fact.display().contains("knowledge graph"));
+    }
+}

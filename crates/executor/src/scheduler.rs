@@ -1,0 +1,301 @@
+//! Optimized multi-query scheduling (§V-B) and parallel execution.
+//!
+//! Before executing N query graphs, each distinct SPOC vertex key is
+//! counted across the batch; every query graph gets a score = sum of its
+//! vertices' frequency ratios, and the batch executes in descending score
+//! order so queries with highly shared vertices run first and seed the
+//! cache for the rest (Fig. 6). "We parallelize our algorithm to further
+//! improve its performance" — with `threads > 1` a worker pool drains the
+//! ordered queue, sharing one key-centric cache behind a mutex.
+
+use crate::answer::Answer;
+use crate::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+use crate::executor::{ExecError, ExecutorConfig, QueryGraphExecutor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use svqa_graph::Graph;
+use svqa_qparser::QueryGraph;
+
+/// Batch execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Cache granularity (No/Scope/Path/Both — Fig. 10b).
+    pub granularity: CacheGranularity,
+    /// Eviction policy (LFU/LRU — Fig. 11).
+    pub policy: EvictionPolicy,
+    /// Cache pool size in items (Fig. 11).
+    pub pool_size: usize,
+    /// Worker threads; 1 = sequential.
+    pub threads: usize,
+    /// Whether to apply the frequency-ratio ordering (ablation switch; off
+    /// = FIFO order).
+    pub frequency_sort: bool,
+    /// Executor tuning.
+    pub executor: ExecutorConfig,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            granularity: CacheGranularity::Both,
+            policy: EvictionPolicy::Lfu,
+            pool_size: 100,
+            threads: 1,
+            frequency_sort: true,
+            executor: ExecutorConfig::default(),
+        }
+    }
+}
+
+/// Results of a batch run.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query answers, in the *original* submission order.
+    pub answers: Vec<Result<Answer, ExecError>>,
+    /// Per-query execution time, in the original order.
+    pub per_query: Vec<Duration>,
+    /// Wall-clock time of the whole batch.
+    pub total: Duration,
+    /// `(scope hits, scope misses, path hits, path misses)`.
+    pub cache_stats: (u64, u64, u64, u64),
+    /// Execution order used (indices into the original batch).
+    pub order: Vec<usize>,
+}
+
+/// The multi-query scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScheduler {
+    config: SchedulerConfig,
+}
+
+impl QueryScheduler {
+    /// Build a scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        QueryScheduler { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// The frequency-ratio ordering of §V-B: vertex keys are counted across
+    /// the batch; each query's score is the sum of its vertices' frequency
+    /// ratios; descending score (stable on ties).
+    pub fn order(queries: &[QueryGraph]) -> Vec<usize> {
+        let mut freq: HashMap<String, usize> = HashMap::new();
+        let mut total = 0usize;
+        for q in queries {
+            for v in &q.vertices {
+                *freq.entry(vertex_key(v)).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        let score = |q: &QueryGraph| -> f64 {
+            if total == 0 {
+                return 0.0;
+            }
+            q.vertices
+                .iter()
+                .map(|v| freq[&vertex_key(v)] as f64 / total as f64)
+                .sum()
+        };
+        let mut idx: Vec<usize> = (0..queries.len()).collect();
+        let scores: Vec<f64> = queries.iter().map(score).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are finite")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Execute a batch of query graphs over the merged graph.
+    pub fn run(&self, graph: &Graph, queries: &[QueryGraph]) -> BatchReport {
+        let order = if self.config.frequency_sort {
+            Self::order(queries)
+        } else {
+            (0..queries.len()).collect()
+        };
+        let cache = Mutex::new(KeyCentricCache::new(
+            self.config.granularity,
+            self.config.policy,
+            self.config.pool_size,
+        ));
+        let executor = QueryGraphExecutor::with_config(graph, self.config.executor);
+
+        let mut answers: Vec<Option<Result<Answer, ExecError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut per_query = vec![Duration::ZERO; queries.len()];
+        let start = Instant::now();
+
+        if self.config.threads <= 1 {
+            for &qi in &order {
+                let t0 = Instant::now();
+                let result = executor
+                    .execute_cached(&queries[qi], Some(&cache))
+                    .map(|(a, _)| a);
+                per_query[qi] = t0.elapsed();
+                answers[qi] = Some(result);
+            }
+        } else {
+            // Work-stealing over the ordered queue; results collected per
+            // worker and merged afterwards (answers are Send, the graph is
+            // shared immutably, the cache behind the mutex).
+            let next = AtomicUsize::new(0);
+            type WorkerResult = (usize, Result<Answer, ExecError>, Duration);
+            let results: Mutex<Vec<WorkerResult>> =
+                Mutex::new(Vec::with_capacity(queries.len()));
+            std::thread::scope(|scope| {
+                for _ in 0..self.config.threads {
+                    scope.spawn(|| {
+                        loop {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            if slot >= order.len() {
+                                break;
+                            }
+                            let qi = order[slot];
+                            let t0 = Instant::now();
+                            let result = executor
+                                .execute_cached(&queries[qi], Some(&cache))
+                                .map(|(a, _)| a);
+                            results.lock().push((qi, result, t0.elapsed()));
+                        }
+                    });
+                }
+            });
+            for (qi, result, dt) in results.into_inner() {
+                answers[qi] = Some(result);
+                per_query[qi] = dt;
+            }
+        }
+
+        let cache_stats = cache.lock().stats();
+        BatchReport {
+            answers: answers
+                .into_iter()
+                .map(|a| a.expect("every query executed"))
+                .collect(),
+            per_query,
+            total: start.elapsed(),
+            cache_stats,
+            order,
+        }
+    }
+}
+
+/// A vertex's identity for frequency counting: its SPOC key.
+fn vertex_key(v: &svqa_qparser::Spoc) -> String {
+    format!(
+        "{}|{}|{}",
+        v.subject.phrase, v.predicate, v.object.phrase
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svqa_graph::GraphBuilder;
+    use svqa_qparser::QueryGraphGenerator;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.triple("dog", "is a", "pet").triple("cat", "is a", "pet");
+        let mut g = b.build();
+        let d = g.add_vertex("dog");
+        let c = g.add_vertex("car");
+        g.add_edge(d, c, "in").unwrap();
+        let kg_dog = g.vertices_with_label("dog")[0];
+        g.add_edge(d, kg_dog, "same as").unwrap();
+        g.add_edge(kg_dog, d, "same as").unwrap();
+        g
+    }
+
+    fn queries(texts: &[&str]) -> Vec<QueryGraph> {
+        let gen = QueryGraphGenerator::new();
+        texts.iter().map(|q| gen.generate(q).unwrap()).collect()
+    }
+
+    #[test]
+    fn order_puts_most_shared_first() {
+        let qs = queries(&[
+            "Does the cat appear in the car?", // unique vertices
+            "Does the dog appear in the car?", // shared with q2 below
+            "Does the dog appear in the car?",
+        ]);
+        let order = QueryScheduler::order(&qs);
+        // The duplicated dog queries score higher than the cat query.
+        assert_eq!(*order.last().unwrap(), 0, "order = {order:?}");
+    }
+
+    #[test]
+    fn run_returns_answers_in_original_order() {
+        let g = graph();
+        let qs = queries(&[
+            "Does the cat appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let report = QueryScheduler::new(SchedulerConfig::default()).run(&g, &qs);
+        assert_eq!(report.answers.len(), 2);
+        assert_eq!(report.answers[0], Ok(Answer::Judgment(false)));
+        assert_eq!(report.answers[1], Ok(Answer::Judgment(true)));
+        assert!(report.total >= report.per_query.iter().copied().max().unwrap_or_default() / 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = graph();
+        let qs = queries(&[
+            "Does the dog appear in the car?",
+            "Does the cat appear in the car?",
+            "How many dogs are in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let seq = QueryScheduler::new(SchedulerConfig::default()).run(&g, &qs);
+        let par = QueryScheduler::new(SchedulerConfig {
+            threads: 4,
+            ..SchedulerConfig::default()
+        })
+        .run(&g, &qs);
+        assert_eq!(seq.answers, par.answers);
+    }
+
+    #[test]
+    fn duplicate_queries_hit_the_cache() {
+        let g = graph();
+        let qs = queries(&[
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let report = QueryScheduler::new(SchedulerConfig::default()).run(&g, &qs);
+        // Path hits short-circuit the whole query stage (scope lookups are
+        // skipped entirely on a hit), so repeats register as path hits.
+        let (_, _, ph, _) = report.cache_stats;
+        assert!(ph >= 2, "path hits = {ph}");
+    }
+
+    #[test]
+    fn fifo_mode_keeps_submission_order() {
+        let qs = queries(&[
+            "Does the cat appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let report = QueryScheduler::new(SchedulerConfig {
+            frequency_sort: false,
+            ..SchedulerConfig::default()
+        })
+        .run(&graph(), &qs);
+        assert_eq!(report.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let report = QueryScheduler::new(SchedulerConfig::default()).run(&graph(), &[]);
+        assert!(report.answers.is_empty());
+        assert!(report.order.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the executor: cache invariants, matcher
+//! behaviour, and answer-shape guarantees.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use proptest::prelude::*;
+use svqa_executor::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+use svqa_executor::executor::QueryGraphExecutor;
+use svqa_executor::matching::VertexMatcher;
+use svqa_executor::Answer;
+use svqa_graph::{Graph, VertexId};
+use svqa_qparser::{NounPhrase, QueryGraph, QuestionType, Spoc};
+
+/// A cache operation script.
+#[derive(Debug, Clone)]
+enum Op {
+    ScopeGet(u8),
+    ScopePut(u8, u8),
+    PathGet(u8),
+    PathPut(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::ScopeGet),
+        (0u8..16, 0u8..8).prop_map(|(k, v)| Op::ScopePut(k, v)),
+        (0u8..16).prop_map(Op::PathGet),
+        (0u8..16).prop_map(Op::PathPut),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_never_exceeds_pool_size(
+        ops in proptest::collection::vec(arb_op(), 0..200),
+        pool in 0usize..12,
+        lfu in any::<bool>(),
+    ) {
+        let policy = if lfu { EvictionPolicy::Lfu } else { EvictionPolicy::Lru };
+        let mut cache = KeyCentricCache::new(CacheGranularity::Both, policy, pool);
+        for op in ops {
+            match op {
+                Op::ScopeGet(k) => { cache.scope_get(&format!("s{k}")); }
+                Op::ScopePut(k, v) => {
+                    cache.scope_put(&format!("s{k}"), Arc::new(vec![VertexId::from_index(v as usize)]));
+                }
+                Op::PathGet(k) => { cache.path_get(&format!("p{k}")); }
+                Op::PathPut(k) => { cache.path_put(&format!("p{k}"), Arc::new(vec![])); }
+            }
+            prop_assert!(cache.len() <= pool, "len {} > pool {}", cache.len(), pool);
+        }
+        // Value accounting never goes negative/overflows.
+        let _ = cache.value_bytes();
+    }
+
+    #[test]
+    fn cache_get_returns_last_put(
+        key in 0u8..8,
+        values in proptest::collection::vec(0u8..32, 1..10),
+    ) {
+        let mut cache = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 64);
+        let k = format!("s{key}");
+        let mut last = None;
+        for v in values {
+            let stored = Arc::new(vec![VertexId::from_index(v as usize)]);
+            cache.scope_put(&k, Arc::clone(&stored));
+            last = Some(stored);
+        }
+        prop_assert_eq!(cache.scope_get(&k), last);
+    }
+
+    #[test]
+    fn disabled_granularities_store_nothing(keys in proptest::collection::vec(0u8..8, 0..20)) {
+        let mut cache = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lru, 16);
+        for k in &keys {
+            cache.path_put(&format!("p{}", k), Arc::new(vec![]));
+        }
+        for k in &keys {
+            let got = cache.path_get(&format!("p{}", k));
+            prop_assert!(got.is_none());
+        }
+    }
+}
+
+/// A small random merged-graph-like world for executor properties.
+fn arb_world() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec((0usize..6, 0usize..6, 0usize..4), 1..30).prop_map(|edges| {
+        const LABELS: [&str; 6] = ["dog", "cat", "man", "grass", "car", "hat"];
+        const PREDS: [&str; 4] = ["on", "near", "in", "wearing"];
+        let mut g = Graph::new();
+        let ids: Vec<_> = LABELS.iter().map(|l| g.add_vertex(*l)).collect();
+        for (a, b, p) in edges {
+            if a != b {
+                g.add_edge(ids[a], ids[b], PREDS[p]).unwrap();
+            }
+        }
+        g
+    })
+}
+
+fn spoc(s: &str, p: &str, o: &str) -> Spoc {
+    Spoc {
+        subject: if s.is_empty() {
+            NounPhrase::default()
+        } else {
+            NounPhrase::simple(s)
+        },
+        predicate: p.to_owned(),
+        object: if o.is_empty() {
+            NounPhrase::default()
+        } else {
+            NounPhrase::simple(o)
+        },
+        ..Spoc::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn judgment_answers_are_always_boolean(
+        g in arb_world(),
+        si in 0usize..6, pi in 0usize..4, oi in 0usize..6,
+    ) {
+        const LABELS: [&str; 6] = ["dog", "cat", "man", "grass", "car", "hat"];
+        const PREDS: [&str; 4] = ["on", "near", "in", "wearing"];
+        let gq = QueryGraph {
+            vertices: vec![spoc(LABELS[si], PREDS[pi], LABELS[oi])],
+            edges: vec![],
+            question_type: QuestionType::Judgment,
+            question: String::new(),
+        };
+        let ex = QueryGraphExecutor::new(&g);
+        let a = ex.execute(&gq).unwrap();
+        prop_assert!(matches!(a, Answer::Judgment(_)));
+    }
+
+    #[test]
+    fn cached_execution_equals_uncached(
+        g in arb_world(),
+        si in 0usize..6, pi in 0usize..4, oi in 0usize..6,
+    ) {
+        const LABELS: [&str; 6] = ["dog", "cat", "man", "grass", "car", "hat"];
+        const PREDS: [&str; 4] = ["on", "near", "in", "wearing"];
+        let gq = QueryGraph {
+            vertices: vec![spoc(LABELS[si], PREDS[pi], LABELS[oi])],
+            edges: vec![],
+            question_type: QuestionType::Counting,
+            question: String::new(),
+        };
+        let ex = QueryGraphExecutor::new(&g);
+        let plain = ex.execute(&gq).unwrap();
+        let cache = Mutex::new(KeyCentricCache::new(
+            CacheGranularity::Both,
+            EvictionPolicy::Lfu,
+            64,
+        ));
+        // Run twice so the second pass reads from a warm cache.
+        let first = ex.execute_cached(&gq, Some(&cache)).unwrap().0;
+        let second = ex.execute_cached(&gq, Some(&cache)).unwrap().0;
+        prop_assert_eq!(&plain, &first);
+        prop_assert_eq!(&first, &second);
+    }
+
+    #[test]
+    fn matcher_exact_labels_always_match(g in arb_world(), li in 0usize..6) {
+        const LABELS: [&str; 6] = ["dog", "cat", "man", "grass", "car", "hat"];
+        let m = VertexMatcher::new(&g);
+        let found = m.match_vertex(LABELS[li], LABELS[li]);
+        prop_assert!(!found.is_empty());
+        for v in &found {
+            prop_assert_eq!(g.vertex_label(*v), Some(LABELS[li]));
+        }
+        // Expansion is a superset and idempotent.
+        let once = m.expand_semantic(&found);
+        for v in &found {
+            prop_assert!(once.contains(v));
+        }
+        prop_assert_eq!(m.expand_semantic(&once), once);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for graph operations.
+
+use crate::ids::{EdgeId, VertexId};
+use std::fmt;
+
+/// Errors surfaced by [`crate::Graph`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id did not resolve inside this graph.
+    UnknownVertex(VertexId),
+    /// An edge id did not resolve inside this graph.
+    UnknownEdge(EdgeId),
+    /// A serialized graph failed validation on load (dangling endpoint,
+    /// inconsistent adjacency, ...). The payload describes the first
+    /// violation found.
+    CorruptGraph(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex(v) => write!(f, "unknown vertex {v}"),
+            GraphError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            GraphError::CorruptGraph(msg) => write!(f, "corrupt graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EdgeId, VertexId};
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::UnknownVertex(VertexId::from_index(3)).to_string(),
+            "unknown vertex v3"
+        );
+        assert_eq!(
+            GraphError::UnknownEdge(EdgeId::from_index(1)).to_string(),
+            "unknown edge e1"
+        );
+        assert!(GraphError::CorruptGraph("dangling".into())
+            .to_string()
+            .contains("dangling"));
+    }
+}

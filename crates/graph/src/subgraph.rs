@@ -1,0 +1,167 @@
+//! Induced-subgraph views.
+//!
+//! Algorithm 1 caches `G[S(t, k)]` for frequent categories `t`. The paper is
+//! explicit that these are *not* copies: "our extraction method for
+//! `G[S(t,k)]` does not store a part of G independently; instead, it adds an
+//! index to G". `SubgraphView` realizes that: a vertex membership bitset plus
+//! the member vertex/edge id lists, borrowing nothing and copying no labels.
+
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An induced subgraph of a parent [`Graph`], stored as an index (vertex
+/// bitset + member id lists). Valid only against the graph it was built
+/// from; since graphs are append-only, a view stays valid as the parent
+/// grows (new vertices are simply outside the view).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubgraphView {
+    /// Membership bitset over the parent's vertex arena at build time.
+    membership: Vec<u64>,
+    vertices: Vec<VertexId>,
+    edges: Vec<EdgeId>,
+}
+
+impl SubgraphView {
+    /// Build the subgraph induced by `vertices` (Definition 2): it keeps an
+    /// edge iff both endpoints are members.
+    pub fn from_vertices(graph: &Graph, vertices: Vec<VertexId>) -> Self {
+        let words = graph.vertex_count().div_ceil(64);
+        let mut membership = vec![0u64; words];
+        for v in &vertices {
+            if v.index() < graph.vertex_count() {
+                membership[v.index() / 64] |= 1 << (v.index() % 64);
+            }
+        }
+        let contains = |v: VertexId| -> bool {
+            membership
+                .get(v.index() / 64)
+                .is_some_and(|w| w & (1 << (v.index() % 64)) != 0)
+        };
+        let mut edges = Vec::new();
+        for &v in &vertices {
+            for (eid, e) in graph.out_edges(v) {
+                if contains(e.dst()) {
+                    edges.push(eid);
+                }
+            }
+        }
+        SubgraphView {
+            membership,
+            vertices,
+            edges,
+        }
+    }
+
+    /// Whether `v` is a member vertex.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.membership
+            .get(v.index() / 64)
+            .is_some_and(|w| w & (1 << (v.index() % 64)) != 0)
+    }
+
+    /// Member vertices (BFS order when built by
+    /// [`crate::traverse::induced_subgraph`]).
+    pub fn vertex_ids(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Member edges (both endpoints inside the view).
+    pub fn edge_ids(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of member vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of member edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Find members of the view carrying `label` in the parent graph.
+    /// Resolution goes through the parent's label index and then filters by
+    /// membership, so cost is `O(matches)` not `O(|view|)`.
+    pub fn vertices_with_label<'a>(
+        &'a self,
+        graph: &'a Graph,
+        label: &str,
+    ) -> impl Iterator<Item = VertexId> + 'a {
+        graph
+            .vertices_with_label(label)
+            .iter()
+            .copied()
+            .filter(|&v| self.contains_vertex(v))
+    }
+
+    /// Approximate heap size of the index itself, in bytes. Exp-5 sizes the
+    /// cache pool in items; this helper lets callers report bytes too.
+    pub fn index_size_bytes(&self) -> usize {
+        self.membership.len() * 8 + self.vertices.len() * 4 + self.edges.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::induced_subgraph;
+
+    fn star() -> (Graph, VertexId, Vec<VertexId>) {
+        let mut g = Graph::new();
+        let hub = g.add_vertex("hub");
+        let spokes: Vec<_> = (0..5).map(|i| g.add_vertex(format!("s{i}"))).collect();
+        for &s in &spokes {
+            g.add_edge(hub, s, "spoke").unwrap();
+        }
+        (g, hub, spokes)
+    }
+
+    #[test]
+    fn membership_bitset() {
+        let (g, hub, spokes) = star();
+        let view = SubgraphView::from_vertices(&g, vec![hub, spokes[0]]);
+        assert!(view.contains_vertex(hub));
+        assert!(view.contains_vertex(spokes[0]));
+        assert!(!view.contains_vertex(spokes[1]));
+        assert!(!view.contains_vertex(VertexId::from_index(1000)));
+        assert_eq!(view.edge_count(), 1);
+    }
+
+    #[test]
+    fn view_stays_valid_as_parent_grows() {
+        let (mut g, hub, _) = star();
+        let view = induced_subgraph(&g, hub, 1);
+        let before = view.vertex_count();
+        let newcomer = g.add_vertex("late");
+        assert!(!view.contains_vertex(newcomer));
+        assert_eq!(view.vertex_count(), before);
+    }
+
+    #[test]
+    fn label_lookup_filters_by_membership() {
+        let mut g = Graph::new();
+        let d1 = g.add_vertex("dog");
+        let d2 = g.add_vertex("dog");
+        g.add_edge(d1, d2, "near").unwrap();
+        let view = SubgraphView::from_vertices(&g, vec![d1]);
+        let found: Vec<_> = view.vertices_with_label(&g, "dog").collect();
+        assert_eq!(found, vec![d1]);
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let (g, hub, _) = star();
+        let view = induced_subgraph(&g, hub, 1);
+        assert!(view.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_view() {
+        let g = Graph::new();
+        let view = SubgraphView::from_vertices(&g, vec![]);
+        assert_eq!(view.vertex_count(), 0);
+        assert_eq!(view.edge_count(), 0);
+    }
+}

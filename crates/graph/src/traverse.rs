@@ -1,0 +1,168 @@
+//! Traversal primitives: BFS, k-hop neighbourhoods (`S(t, k)`, Definition 1)
+//! and induced subgraphs (`G[S(t, k)]`, Definition 2).
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use crate::subgraph::SubgraphView;
+use std::collections::VecDeque;
+
+/// A breadth-first traversal over the *undirected* structure of a graph
+/// (edges are followed both ways), yielding `(vertex, depth)` pairs.
+///
+/// The paper's Example 3 treats neighbourhood membership symmetrically
+/// (`Fence → Man` puts "Man" in `S("Fence", 1)` even though the edge also
+/// runs the other way), so hop counting ignores direction.
+pub struct Bfs<'g> {
+    graph: &'g Graph,
+    queue: VecDeque<(VertexId, usize)>,
+    visited: Vec<bool>,
+    max_depth: Option<usize>,
+}
+
+impl<'g> Bfs<'g> {
+    /// Start a BFS from `start` with no depth bound.
+    pub fn new(graph: &'g Graph, start: VertexId) -> Self {
+        Self::with_max_depth(graph, start, None)
+    }
+
+    /// Start a BFS from `start` that does not expand beyond `max_depth` hops.
+    pub fn with_max_depth(graph: &'g Graph, start: VertexId, max_depth: Option<usize>) -> Self {
+        let mut visited = vec![false; graph.vertex_count()];
+        let mut queue = VecDeque::new();
+        if start.index() < graph.vertex_count() {
+            visited[start.index()] = true;
+            queue.push_back((start, 0));
+        }
+        Bfs {
+            graph,
+            queue,
+            visited,
+            max_depth,
+        }
+    }
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = (VertexId, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (v, depth) = self.queue.pop_front()?;
+        let expand = self.max_depth.is_none_or(|m| depth < m);
+        if expand {
+            for n in self.graph.neighbors(v) {
+                if !self.visited[n.index()] {
+                    self.visited[n.index()] = true;
+                    self.queue.push_back((n, depth + 1));
+                }
+            }
+        }
+        Some((v, depth))
+    }
+}
+
+/// `S(t, k)`: the vertices reachable from `t` within `k` hops, including `t`
+/// itself (Definition 1). Returned in BFS order.
+pub fn k_hop_neighborhood(graph: &Graph, t: VertexId, k: usize) -> Vec<VertexId> {
+    Bfs::with_max_depth(graph, t, Some(k))
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// `G[S(t, k)]`: the subgraph of `graph` induced by the k-hop neighbourhood
+/// of `t` (Definition 2), as an index view over the parent graph.
+pub fn induced_subgraph(graph: &Graph, t: VertexId, k: usize) -> SubgraphView {
+    SubgraphView::from_vertices(graph, k_hop_neighborhood(graph, t, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 3 from the paper: `Fence → Man` and `Man → Fence`; the 1-hop
+    /// neighbourhood of "Fence" holds both vertices and both edges.
+    fn fence_man() -> (Graph, VertexId, VertexId) {
+        let mut g = Graph::new();
+        let fence = g.add_vertex("fence");
+        let man = g.add_vertex("man");
+        g.add_edge(fence, man, "behind").unwrap();
+        g.add_edge(man, fence, "in front of").unwrap();
+        (g, fence, man)
+    }
+
+    #[test]
+    fn example3_one_hop() {
+        let (g, fence, man) = fence_man();
+        let s = k_hop_neighborhood(&g, fence, 1);
+        assert_eq!(s, vec![fence, man]);
+        let sub = induced_subgraph(&g, fence, 1);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 2);
+    }
+
+    fn chain(n: usize) -> (Graph, Vec<VertexId>) {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_vertex(format!("v{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], "next").unwrap();
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn k_hop_respects_bound() {
+        let (g, ids) = chain(6);
+        assert_eq!(k_hop_neighborhood(&g, ids[0], 0), vec![ids[0]]);
+        assert_eq!(k_hop_neighborhood(&g, ids[0], 2), ids[..3].to_vec());
+        // From the middle, hops run both ways.
+        let s = k_hop_neighborhood(&g, ids[3], 1);
+        assert_eq!(s, vec![ids[3], ids[4], ids[2]]);
+    }
+
+    #[test]
+    fn bfs_depths_are_shortest_hop_counts() {
+        let (g, ids) = chain(5);
+        let depths: Vec<_> = Bfs::new(&g, ids[0]).collect();
+        for (i, (v, d)) in depths.iter().enumerate() {
+            assert_eq!(*v, ids[i]);
+            assert_eq!(*d, i);
+        }
+    }
+
+    #[test]
+    fn bfs_from_foreign_vertex_is_empty() {
+        let (g, _) = chain(3);
+        let mut bfs = Bfs::new(&g, VertexId::from_index(999));
+        assert!(bfs.next().is_none());
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, b, "x").unwrap();
+        g.add_edge(b, a, "y").unwrap();
+        let visited: Vec<_> = Bfs::new(&g, a).map(|(v, _)| v).collect();
+        assert_eq!(visited, vec![a, b]);
+    }
+
+    #[test]
+    fn induced_subgraph_excludes_external_edges() {
+        let (g, ids) = chain(4);
+        let sub = induced_subgraph(&g, ids[0], 1);
+        // Vertices v0, v1; edge v0→v1 only (v1→v2 leaves the set).
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn disconnected_component_not_reached() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("island");
+        g.add_edge(a, b, "x").unwrap();
+        let s = k_hop_neighborhood(&g, a, 10);
+        assert!(!s.contains(&c));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use svqa_graph::{
+    induced_subgraph, k_hop_neighborhood, Bfs, Graph, GraphBuilder, LabelHistogram, VertexId,
+};
+
+/// Strategy: a random small graph as (vertex labels, edge index pairs).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40).prop_flat_map(|n| {
+        let labels = proptest::collection::vec(0u8..12, n);
+        let edges = proptest::collection::vec((0..n, 0..n, 0u8..5), 0..120);
+        (labels, edges).prop_map(|(labels, edges)| {
+            let mut g = Graph::new();
+            let ids: Vec<_> = labels
+                .into_iter()
+                .map(|l| g.add_vertex(format!("l{l}")))
+                .collect();
+            for (a, b, e) in edges {
+                g.add_edge(ids[a], ids[b], format!("e{e}")).unwrap();
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_graphs_always_validate(g in arb_graph()) {
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_everything(g in arb_graph()) {
+        let back = svqa_graph::io::from_json(&svqa_graph::io::to_json(&g)).unwrap();
+        prop_assert_eq!(back.vertex_count(), g.vertex_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for (vid, v) in g.vertices() {
+            prop_assert_eq!(back.vertex_label(vid), Some(v.label()));
+        }
+        // Rebuilt label index answers identically.
+        for (label, count) in g.vertex_label_counts() {
+            prop_assert_eq!(back.vertices_with_label(label).len(), count);
+        }
+    }
+
+    #[test]
+    fn absorb_is_additive(g1 in arb_graph(), g2 in arb_graph()) {
+        let mut merged = g1.clone();
+        let mapping = merged.absorb(&g2);
+        prop_assert_eq!(merged.vertex_count(), g1.vertex_count() + g2.vertex_count());
+        prop_assert_eq!(merged.edge_count(), g1.edge_count() + g2.edge_count());
+        prop_assert_eq!(mapping.len(), g2.vertex_count());
+        merged.validate().unwrap();
+        // Labels preserved through the mapping.
+        for (vid, v) in g2.vertices() {
+            prop_assert_eq!(merged.vertex_label(mapping[vid.index()]), Some(v.label()));
+        }
+    }
+
+    #[test]
+    fn bfs_visits_each_vertex_at_most_once(g in arb_graph()) {
+        let start = VertexId::from_index(0);
+        let visited: Vec<_> = Bfs::new(&g, start).map(|(v, _)| v).collect();
+        let mut dedup = visited.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), visited.len());
+        prop_assert!(visited.len() <= g.vertex_count());
+    }
+
+    #[test]
+    fn bfs_depths_are_monotone(g in arb_graph()) {
+        let start = VertexId::from_index(0);
+        let depths: Vec<_> = Bfs::new(&g, start).map(|(_, d)| d).collect();
+        for w in depths.windows(2) {
+            prop_assert!(w[1] >= w[0], "BFS yields non-decreasing depths");
+            prop_assert!(w[1] <= w[0] + 1, "depths increase by at most one");
+        }
+    }
+
+    #[test]
+    fn k_hop_is_monotone_in_k(g in arb_graph(), k in 0usize..6) {
+        let start = VertexId::from_index(0);
+        let smaller = k_hop_neighborhood(&g, start, k);
+        let larger = k_hop_neighborhood(&g, start, k + 1);
+        prop_assert!(smaller.len() <= larger.len());
+        for v in &smaller {
+            prop_assert!(larger.contains(v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_stay_internal(g in arb_graph(), k in 0usize..4) {
+        let start = VertexId::from_index(0);
+        let view = induced_subgraph(&g, start, k);
+        for &eid in view.edge_ids() {
+            let e = g.edge(eid).unwrap();
+            prop_assert!(view.contains_vertex(e.src()));
+            prop_assert!(view.contains_vertex(e.dst()));
+        }
+        for &v in view.vertex_ids() {
+            prop_assert!(view.contains_vertex(v));
+        }
+    }
+
+    #[test]
+    fn histogram_total_equals_vertex_count(g in arb_graph()) {
+        let h = LabelHistogram::from_vertex_labels([&g]);
+        prop_assert_eq!(h.total(), g.vertex_count());
+        // Entries are sorted descending.
+        let entries = h.entries();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        // Coverage fractions are proper fractions.
+        for t in 0..5 {
+            let f = h.fraction_of_items_above(t);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn builder_never_duplicates_label_vertices(
+        triples in proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 0..60)
+    ) {
+        let mut b = GraphBuilder::new();
+        for (s, p, o) in &triples {
+            b.triple(&format!("n{s}"), &format!("p{p}"), &format!("n{o}"));
+        }
+        let g = b.build();
+        for (label, count) in g.vertex_label_counts() {
+            prop_assert_eq!(count, 1, "label {} duplicated", label);
+        }
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,104 @@
+//! Levenshtein edit distance.
+//!
+//! Algorithm 3's `matchVertex` "uses the Levenshtein Distance (LD) to find
+//! v ∈ V_mg whose distance is less than the empirical threshold" (§V-A).
+//! The normalized form follows Yujian & Bo's metric normalization cited by
+//! the paper.
+
+/// Classic Levenshtein distance (unit costs), computed with a single-row DP
+/// over characters.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let candidate = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = candidate;
+        }
+    }
+    row[b.len()]
+}
+
+/// Levenshtein distance normalized to `[0, 1]` by the longer string's
+/// length: 0 means identical, 1 means nothing shared.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Similarity in `[0, 1]` (1 − normalized distance), the form `matchVertex`
+/// thresholds on.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    1.0 - normalized_levenshtein(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("dog", "dog"), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "abc"), 0.0);
+        assert_eq!(normalized_levenshtein("abc", "xyz"), 1.0);
+        let d = normalized_levenshtein("dog", "dogs");
+        assert!(d > 0.0 && d < 1.0);
+    }
+
+    #[test]
+    fn similarity_complements_distance() {
+        let a = "wizard";
+        let b = "wizards";
+        let s = levenshtein_similarity(a, b);
+        assert!((s + normalized_levenshtein(a, b) - 1.0).abs() < 1e-12);
+        assert!(s > 0.8);
+    }
+
+    #[test]
+    fn symmetry() {
+        for (a, b) in [("dog", "puppy"), ("fence", "bench"), ("", "x")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let words = ["dog", "dig", "dug", "bag"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the NLP substrate.
+
+use proptest::prelude::*;
+use svqa_nlp::lev::{levenshtein, levenshtein_similarity, normalized_levenshtein};
+use svqa_nlp::transition::{is_projective, oracle_derivation, replays_to};
+use svqa_nlp::{tokenize, Embedder, Lemmatizer, PosTagger, RuleDependencyParser};
+
+proptest! {
+    // ---------------- Levenshtein is a metric ----------------
+    #[test]
+    fn levenshtein_identity(s in "[a-z ]{0,16}") {
+        prop_assert_eq!(levenshtein(&s, &s), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_string(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+        let n = normalized_levenshtein(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&n));
+        prop_assert!((levenshtein_similarity(&a, &b) + n - 1.0).abs() < 1e-12);
+    }
+
+    // ---------------- Tokenizer ----------------
+    #[test]
+    fn tokenizer_offsets_point_at_surfaces(s in "[A-Za-z',?. ]{0,60}") {
+        for t in tokenize(&s) {
+            prop_assert!(s[t.offset..].starts_with(&t.surface),
+                "offset {} does not start surface {:?} in {:?}", t.offset, t.surface, s);
+        }
+    }
+
+    #[test]
+    fn tokenizer_is_case_insensitive_in_text(s in "[A-Za-z ]{0,40}") {
+        let lower: Vec<String> = tokenize(&s.to_lowercase()).into_iter().map(|t| t.text).collect();
+        let mixed: Vec<String> = tokenize(&s).into_iter().map(|t| t.text).collect();
+        prop_assert_eq!(lower, mixed);
+    }
+
+    // ---------------- Tagger & parser never panic; parser output is a tree
+    #[test]
+    fn tagger_tags_every_token(s in "[A-Za-z',?. ]{0,60}") {
+        let tagger = PosTagger::new();
+        let tagged = tagger.tag(&s);
+        prop_assert_eq!(tagged.len(), tokenize(&s).len());
+    }
+
+    #[test]
+    fn parser_output_is_a_single_rooted_tree_or_error(s in "[a-z ]{1,60}") {
+        let tagger = PosTagger::new();
+        let parser = RuleDependencyParser::new();
+        if let Ok(tree) = parser.parse(&tagger.tag(&s)) {
+            // Exactly one root.
+            let roots = (0..tree.len()).filter(|&i| tree.head_of(i).is_none()).count();
+            prop_assert_eq!(roots, 1);
+            // Acyclic: walking up from any node terminates.
+            for start in 0..tree.len() {
+                let mut cur = start;
+                let mut steps = 0;
+                while let Some(h) = tree.head_of(cur) {
+                    cur = h;
+                    steps += 1;
+                    prop_assert!(steps <= tree.len(), "cycle from {start}");
+                }
+            }
+        }
+    }
+
+    // ---------------- Lemmatizer ----------------
+    #[test]
+    fn verb_lemma_is_idempotent(s in "[a-z]{1,12}") {
+        let l = Lemmatizer::new();
+        let once = l.verb_lemma(&s);
+        // Lemmatizing a lemma may simplify further at most once more for
+        // pathological inputs, but must stabilize by the second pass.
+        let twice = l.verb_lemma(&once);
+        let thrice = l.verb_lemma(&twice);
+        prop_assert_eq!(&twice, &thrice, "input {:?} lemma chain {:?} -> {:?} -> {:?}", s, once, twice, thrice);
+    }
+
+    #[test]
+    fn noun_lemma_never_grows(s in "[a-z]{1,12}") {
+        let l = Lemmatizer::new();
+        prop_assert!(l.noun_lemma(&s).len() <= s.len() + 2);
+    }
+
+    // ---------------- Embeddings ----------------
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in "[a-z]{1,10}", b in "[a-z]{1,10}") {
+        let e = Embedder::new();
+        let s1 = e.similarity(&a, &b);
+        let s2 = e.similarity(&b, &a);
+        prop_assert!((-1.01..=1.01).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-5);
+        // Self-similarity is 1 for any non-empty word.
+        prop_assert!((e.similarity(&a, &a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm(w in "[a-z ]{1,20}") {
+        let e = Embedder::new();
+        let v = e.embed(&w);
+        let n = v.norm();
+        // Zero only for effectively-empty input.
+        if w.trim().is_empty() {
+            prop_assert_eq!(n, 0.0);
+        } else {
+            prop_assert!((n - 1.0).abs() < 1e-4, "norm {n} for {:?}", w);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Derivations of real parses replay exactly (expensive — fewer cases).
+    #[test]
+    fn projective_parses_replay_through_arc_standard(
+        det in prop::sample::select(vec!["the", "a"]),
+        noun in prop::sample::select(vec!["dog", "cat", "man", "wizard"]),
+        verb in prop::sample::select(vec!["catches", "watches", "holds"]),
+        obj in prop::sample::select(vec!["frisbee", "ball", "hat"]),
+    ) {
+        let q = format!("{det} {noun} {verb} the {obj}");
+        let tagger = PosTagger::new();
+        let tree = RuleDependencyParser::new().parse(&tagger.tag(&q)).unwrap();
+        prop_assert!(is_projective(&tree));
+        let actions = oracle_derivation(&tree).unwrap();
+        prop_assert!(replays_to(&tree, &actions));
+        prop_assert_eq!(actions.len(), 2 * tree.len() - 1);
+    }
+}

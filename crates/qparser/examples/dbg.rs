@@ -1,0 +1,11 @@
+fn main() {
+    for q in ["Does the dog that is on the grass appear in front of the tv?"] {
+        let tagger = svqa_nlp::PosTagger::new();
+        let tree = svqa_nlp::RuleDependencyParser::new().parse(&tagger.tag(q)).unwrap();
+        print!("{}", tree.to_conll());
+        match svqa_qparser::QueryGraphGenerator::new().generate(q) {
+            Ok(g) => for v in &g.vertices { println!("{}", v.display()); },
+            Err(e) => println!("ERR {e}"),
+        }
+    }
+}

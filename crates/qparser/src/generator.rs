@@ -1,0 +1,765 @@
+//! Algorithm 2: complex query → query graph.
+
+use crate::clause::{segment, Clause};
+use crate::qgraph::{Dependency, QueryEdge, QueryGraph, QuestionType};
+use crate::spoc::{AnswerRole, NounPhrase, Spoc};
+use std::fmt;
+use svqa_nlp::dep::{DepLabel, DepTree, ParseError};
+use svqa_nlp::vocab;
+use svqa_nlp::{Lemmatizer, PosTag, PosTagger, RuleDependencyParser};
+
+/// Errors from query-graph generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryParseError {
+    /// The underlying dependency parse failed (e.g. the Fig. 8a foreign-word
+    /// mis-tag cascading into a verbless analysis).
+    Nlp(ParseError),
+    /// A clause produced an empty SPOC (no subject *and* no object could be
+    /// extracted).
+    EmptySpoc {
+        /// Index of the offending clause.
+        clause: usize,
+    },
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryParseError::Nlp(e) => write!(f, "dependency parse failed: {e}"),
+            QueryParseError::EmptySpoc { clause } => {
+                write!(f, "clause {clause} yielded an empty SPOC")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+impl From<ParseError> for QueryParseError {
+    fn from(e: ParseError) -> Self {
+        QueryParseError::Nlp(e)
+    }
+}
+
+/// Relational nouns whose possessive form expands into a knowledge-graph
+/// sub-query ("Harry Potter's girlfriend" → `⟨*, girlfriend of, harry
+/// potter⟩`).
+const RELATIONAL_NOUNS: &[&str] = &[
+    "girlfriend", "boyfriend", "friend", "wife", "husband", "spouse",
+    "sibling", "brother", "sister", "mentor", "teacher", "enemy", "rival",
+    "owner",
+];
+
+/// Aggregator head nouns: "what kind of X" asks for X's category.
+const KIND_NOUNS: &[&str] = &["kind", "type", "sort"];
+
+/// Verb particles kept inside the predicate ("hang out").
+const PARTICLES: &[&str] = &["out", "up", "down", "off", "away", "together"];
+
+/// Light verbs whose oblique case *is* the predicate ("appear in front of
+/// the car" → predicate "in front of").
+const LIGHT_VERBS: &[&str] = &["be", "appear"];
+
+/// The query graph generator (Algorithm 2 driver).
+pub struct QueryGraphGenerator {
+    tagger: PosTagger,
+    parser: RuleDependencyParser,
+    lemmatizer: Lemmatizer,
+}
+
+impl Default for QueryGraphGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryGraphGenerator {
+    /// Build a generator (constructs the tagger lexicon once).
+    pub fn new() -> Self {
+        QueryGraphGenerator {
+            tagger: PosTagger::new(),
+            parser: RuleDependencyParser::new(),
+            lemmatizer: Lemmatizer::new(),
+        }
+    }
+
+    /// Algorithm 2: parse `question` into a query graph.
+    pub fn generate(&self, question: &str) -> Result<QueryGraph, QueryParseError> {
+        // --- Initial stage: POS + dependency tree. ---
+        let tagged = self.tagger.tag(question);
+        let tree = self.parser.parse(&tagged)?;
+        let question_type = detect_question_type(&tree);
+
+        // --- Parse stage: clause segmentation + SPOC state machine. ---
+        let clauses = segment(&tree);
+        let mut vertices: Vec<Spoc> = Vec::new();
+        let mut edges: Vec<QueryEdge> = Vec::new();
+        // clause index → vertex index (auxiliary possessive vertices shift
+        // positions).
+        let mut clause_vertex = Vec::with_capacity(clauses.len());
+        for (ci, clause) in clauses.iter().enumerate() {
+            let (spoc, aux) = self.extract_spoc(&tree, clause, question_type)?;
+            if spoc.subject.is_empty() && spoc.object.is_empty() {
+                return Err(QueryParseError::EmptySpoc { clause: ci });
+            }
+            let vid = vertices.len();
+            vertices.push(spoc);
+            clause_vertex.push(vid);
+            // Auxiliary vertices (possessive expansions) feed this clause.
+            for (aux_spoc, consumer_role) in aux {
+                let aux_id = vertices.len();
+                vertices.push(aux_spoc);
+                edges.push(QueryEdge {
+                    provider: aux_id,
+                    consumer: vid,
+                    dependency: match consumer_role {
+                        AnswerRole::Subject => Dependency::S2S,
+                        AnswerRole::Object => Dependency::O2S,
+                    },
+                });
+            }
+        }
+
+        // --- Connect stage: antecedent links + generic shared-noun links. ---
+        for (ci, clause) in clauses.iter().enumerate() {
+            let Some(ant) = clause.antecedent else { continue };
+            let ant_head = self.lemmatizer.noun_lemma(tree.text(ant));
+            let provider = clause_vertex[ci];
+            // The consumer is the clause whose SPOC mentions the antecedent
+            // and that is shallower than this one.
+            let consumer = clauses
+                .iter()
+                .enumerate()
+                .filter(|(cj, other)| *cj != ci && other.depth < clause.depth)
+                .map(|(cj, _)| clause_vertex[cj])
+                .find(|&vj| role_of(&vertices[vj], &ant_head).is_some());
+            let Some(consumer) = consumer else { continue };
+            let provider_role = role_of(&vertices[provider], &ant_head);
+            let consumer_role = role_of(&vertices[consumer], &ant_head);
+            if let (Some(p), Some(c)) = (provider_role, consumer_role) {
+                edges.push(QueryEdge {
+                    provider,
+                    consumer,
+                    dependency: dependency_of(c, p),
+                });
+            }
+        }
+        // Generic sharing between clauses not already connected (S2S and
+        // friends across coordinate clauses).
+        for i in 0..clauses.len() {
+            for j in 0..clauses.len() {
+                if i == j || clauses[i].depth <= clauses[j].depth {
+                    continue;
+                }
+                let (vp, vc) = (clause_vertex[i], clause_vertex[j]);
+                if edges
+                    .iter()
+                    .any(|e| e.provider == vp && e.consumer == vc)
+                {
+                    continue;
+                }
+                let provider = &vertices[vp];
+                let consumer = &vertices[vc];
+                let shared = [&provider.subject.head, &provider.object.head]
+                    .into_iter()
+                    .filter(|h| !h.is_empty())
+                    .find(|h| role_of(consumer, h).is_some());
+                if let Some(shared) = shared {
+                    let p = role_of(provider, shared).expect("shared came from provider");
+                    let c = role_of(consumer, shared).expect("role_of checked above");
+                    edges.push(QueryEdge {
+                        provider: vp,
+                        consumer: vc,
+                        dependency: dependency_of(c, p),
+                    });
+                }
+            }
+        }
+
+        Ok(QueryGraph {
+            vertices,
+            edges,
+            question_type,
+            question: question.to_owned(),
+        })
+    }
+
+    /// The SPOC extraction state machine (§IV-B) for one clause. Returns
+    /// the SPOC plus auxiliary `(spoc, consumer role)` possessive
+    /// expansions.
+    fn extract_spoc(
+        &self,
+        tree: &DepTree,
+        clause: &Clause,
+        question_type: QuestionType,
+    ) -> Result<(Spoc, Vec<(Spoc, AnswerRole)>), QueryParseError> {
+        let verb = clause.verb;
+        let passive = tree
+            .children_with_label(verb, DepLabel::AuxPass)
+            .next()
+            .is_some();
+
+        // Grammatical arguments.
+        let nsubj = tree
+            .child_with_label(verb, DepLabel::Nsubj)
+            .or_else(|| tree.child_with_label(verb, DepLabel::NsubjPass));
+        let obj = tree.child_with_label(verb, DepLabel::Obj);
+        let obls: Vec<usize> = tree.children_with_label(verb, DepLabel::Obl).collect();
+        let by_agent = obls
+            .iter()
+            .copied()
+            .find(|&o| case_phrase(tree, o).as_deref() == Some("by"));
+        let other_obl = obls.iter().copied().find(|&o| Some(o) != by_agent);
+
+        // WH replenishment (the `acl` cross-clause reference of §IV-B).
+        let resolve = |tok: Option<usize>| -> Option<usize> {
+            let tok = tok?;
+            if tree.tag(tok).is_wh() {
+                clause.antecedent
+            } else {
+                Some(tok)
+            }
+        };
+        let nsubj = resolve(nsubj);
+        let obj = resolve(obj);
+
+        // Semantic (voice-normalized) roles.
+        let verb_lemma = self.lemmatizer.verb_lemma(tree.text(verb));
+        let (sem_subject, sem_object, obl_as_object) = if passive {
+            match (by_agent, obj.or(other_obl)) {
+                // "carried by the pets": agent → subject, patient → object.
+                (Some(agent), _) => (Some(agent), nsubj, None),
+                // Stative passive, "situated in the car": patient →
+                // subject, oblique → object.
+                (None, Some(rest)) => (nsubj, Some(rest), other_obl),
+                // Bare passive: patient stays object, subject is a
+                // wildcard.
+                (None, None) => (None, nsubj, None),
+            }
+        } else {
+            match (obj, other_obl) {
+                (Some(o), _) => (nsubj, Some(o), None),
+                (None, Some(o)) => (nsubj, Some(o), Some(o)),
+                (None, None) => (nsubj, None, None),
+            }
+        };
+
+        // Predicate: lemma + particles, or case-joined / light-verb form.
+        let mut predicate = verb_lemma.clone();
+        for child in tree.children_with_label(verb, DepLabel::Advmod) {
+            if child == verb + 1 && PARTICLES.contains(&tree.text(child)) {
+                predicate.push(' ');
+                predicate.push_str(tree.text(child));
+            }
+        }
+        if let Some(obl_obj) = obl_as_object.or(match sem_object {
+            Some(o) if obls.contains(&o) && Some(o) != by_agent => Some(o),
+            _ => None,
+        }) {
+            if let Some(cp) = case_phrase(tree, obl_obj) {
+                if LIGHT_VERBS.contains(&verb_lemma.as_str()) {
+                    predicate = cp;
+                } else {
+                    // Prefer a known surface collocation ("situated in")
+                    // over the lemma join ("situate in") when the taxonomy
+                    // has it — keeps maxScore sharp.
+                    let surface = format!("{} {}", tree.text(verb), cp);
+                    predicate = if vocab::cluster_of(&surface).is_some() {
+                        surface
+                    } else {
+                        format!("{predicate} {cp}")
+                    };
+                }
+            }
+        }
+
+        // Constraint: non-particle adverbial span on the verb.
+        let constraint = extract_constraint(tree, verb);
+
+        // Render the noun phrases.
+        let mut aux = Vec::new();
+        let (subject, s_flags) = match sem_subject {
+            Some(tok) => self.render_np(tree, tok),
+            None => (NounPhrase::default(), NpFlags::default()),
+        };
+        let (object, o_flags) = match sem_object {
+            Some(tok) => self.render_np(tree, tok),
+            None => (NounPhrase::default(), NpFlags::default()),
+        };
+
+        // Possessive expansions become auxiliary vertices.
+        if let Some((rel, owner)) = s_flags.possessive.clone() {
+            aux.push((possessive_spoc(&rel, &owner), AnswerRole::Subject));
+        }
+        if let Some((rel, owner)) = o_flags.possessive.clone() {
+            aux.push((possessive_spoc(&rel, &owner), AnswerRole::Object));
+        }
+
+        // Answer variable.
+        let answer_role = if clause.depth == 0 {
+            if s_flags.answer_marker {
+                Some(AnswerRole::Subject)
+            } else if o_flags.answer_marker {
+                Some(AnswerRole::Object)
+            } else if question_type == QuestionType::Counting {
+                // "how many dogs ..." — the counting target NP.
+                if s_flags.counting {
+                    Some(AnswerRole::Subject)
+                } else if o_flags.counting {
+                    Some(AnswerRole::Object)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        Ok((
+            Spoc {
+                subject,
+                predicate,
+                object,
+                constraint,
+                answer_role,
+                asks_kind: s_flags.asks_kind || o_flags.asks_kind,
+            },
+            aux,
+        ))
+    }
+
+    /// Render a noun phrase rooted at `head` and report its markers.
+    fn render_np(&self, tree: &DepTree, head: usize) -> (NounPhrase, NpFlags) {
+        let mut flags = NpFlags::default();
+        let head_text = tree.text(head);
+        let head_lemma = self.lemmatizer.noun_lemma(head_text);
+
+        // Determiner markers.
+        for det in tree.children_with_label(head, DepLabel::Det) {
+            if matches!(tree.text(det), "what" | "which") {
+                flags.answer_marker = true;
+            }
+        }
+        // Counting marker: amod "many" (itself carrying advmod "how").
+        for amod in tree.children_with_label(head, DepLabel::Amod) {
+            if tree.text(amod) == "many"
+                && tree
+                    .children_with_label(amod, DepLabel::Advmod)
+                    .any(|a| tree.text(a) == "how")
+            {
+                flags.counting = true;
+            }
+        }
+
+        // "kind of X": delegate to X.
+        if KIND_NOUNS.contains(&head_lemma.as_str()) {
+            if let Some(nmod) = tree.child_with_label(head, DepLabel::Nmod) {
+                let (inner, inner_flags) = self.render_np(tree, nmod);
+                flags.asks_kind = true;
+                flags.counting |= inner_flags.counting;
+                flags.possessive = inner_flags.possessive;
+                return (
+                    NounPhrase {
+                        phrase: format!("{head_lemma} of {}", inner.phrase),
+                        head: inner.head,
+                    },
+                    flags,
+                );
+            }
+        }
+
+        // Possessive: relational head + nmod:poss owner → KG sub-query.
+        if let Some(owner) = tree.child_with_label(head, DepLabel::NmodPoss) {
+            let owner_phrase = self.render_flat(tree, owner);
+            if RELATIONAL_NOUNS.contains(&head_lemma.as_str()) {
+                flags.possessive = Some((format!("{head_lemma} of"), owner_phrase.clone()));
+            }
+            return (
+                NounPhrase {
+                    phrase: format!("{owner_phrase}'s {head_lemma}"),
+                    head: head_lemma,
+                },
+                flags,
+            );
+        }
+        // "Y of X" relational form ("owner of the dog").
+        if RELATIONAL_NOUNS.contains(&head_lemma.as_str()) {
+            if let Some(nmod) = tree.child_with_label(head, DepLabel::Nmod) {
+                let owner_phrase = self.render_flat(tree, nmod);
+                flags.possessive = Some((format!("{head_lemma} of"), owner_phrase.clone()));
+                return (
+                    NounPhrase {
+                        phrase: format!("{head_lemma} of {owner_phrase}"),
+                        head: head_lemma,
+                    },
+                    flags,
+                );
+            }
+        }
+
+        // Plain NP: compounds + adjectives + head (+ "of" complement).
+        // Compound names ("ginny weasley") must render fully so exact label
+        // matching in the merged graph works.
+        let mut part_tokens: Vec<usize> = tree
+            .children_with_label(head, DepLabel::Compound)
+            .chain(
+                tree.children_with_label(head, DepLabel::Amod)
+                    .filter(|&a| tree.text(a) != "many"),
+            )
+            .collect();
+        part_tokens.sort_unstable();
+        let mut parts: Vec<String> =
+            part_tokens.iter().map(|&t| tree.text(t).to_owned()).collect();
+        parts.push(head_lemma.clone());
+        let mut phrase = parts.join(" ");
+        let head_lemma = if part_tokens.iter().any(|&t| tree.tag(t).is_noun()) {
+            // A compound name's "head" for matching purposes is the whole
+            // name (its last word alone is meaningless).
+            phrase.clone()
+        } else {
+            head_lemma
+        };
+        if let Some(nmod) = tree.child_with_label(head, DepLabel::Nmod) {
+            let (inner, _) = self.render_np(tree, nmod);
+            phrase = format!("{phrase} of {}", inner.phrase);
+        }
+        (
+            NounPhrase {
+                phrase,
+                head: head_lemma,
+            },
+            flags,
+        )
+    }
+
+    /// Flat rendering of a compound name ("harry potter").
+    fn render_flat(&self, tree: &DepTree, head: usize) -> String {
+        let mut tokens: Vec<usize> = tree
+            .children_with_label(head, DepLabel::Compound)
+            .collect();
+        tokens.push(head);
+        tokens.sort_unstable();
+        tokens
+            .into_iter()
+            .map(|t| tree.text(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Per-NP markers found during rendering.
+#[derive(Debug, Clone, Default)]
+struct NpFlags {
+    answer_marker: bool,
+    counting: bool,
+    asks_kind: bool,
+    /// `(relation, owner phrase)` for relational possessives.
+    possessive: Option<(String, String)>,
+}
+
+/// Auxiliary SPOC for a possessive expansion: `⟨*, relation, owner⟩`,
+/// answered on the subject side.
+fn possessive_spoc(relation: &str, owner: &str) -> Spoc {
+    Spoc {
+        subject: NounPhrase::default(),
+        predicate: relation.to_owned(),
+        object: NounPhrase::simple(owner),
+        ..Spoc::default()
+    }
+}
+
+/// The case phrase of an oblique, with `fixed` continuations joined
+/// ("in front of").
+fn case_phrase(tree: &DepTree, obl: usize) -> Option<String> {
+    let case = tree.child_with_label(obl, DepLabel::Case)?;
+    let mut tokens: Vec<usize> = vec![case];
+    tokens.extend(tree.children_with_label(case, DepLabel::Fixed));
+    tokens.sort_unstable();
+    Some(
+        tokens
+            .into_iter()
+            .map(|t| tree.text(t))
+            .collect::<Vec<_>>()
+            .join(" "),
+    )
+}
+
+/// Constraint adverbials: the joined non-particle advmod span of the verb,
+/// kept only when it contains a constraint keyword.
+fn extract_constraint(tree: &DepTree, verb: usize) -> Option<String> {
+    let mut tokens: Vec<usize> = Vec::new();
+    for adv in tree.children_with_label(verb, DepLabel::Advmod) {
+        if PARTICLES.contains(&tree.text(adv)) || tree.tag(adv) == PosTag::WRB {
+            continue;
+        }
+        for sub in tree.children_with_label(adv, DepLabel::Advmod) {
+            tokens.push(sub);
+        }
+        tokens.push(adv);
+    }
+    if tokens.is_empty() {
+        return None;
+    }
+    tokens.sort_unstable();
+    let text = tokens
+        .iter()
+        .map(|&t| tree.text(t))
+        .collect::<Vec<_>>()
+        .join(" ");
+    const KEYWORDS: [&str; 5] = ["most", "least", "exactly", "at least", "at most"];
+    KEYWORDS
+        .iter()
+        .any(|k| text.contains(k))
+        .then_some(text)
+}
+
+/// Role of a head lemma inside a SPOC, if mentioned.
+fn role_of(spoc: &Spoc, head: &str) -> Option<AnswerRole> {
+    if spoc.subject.head == head {
+        Some(AnswerRole::Subject)
+    } else if spoc.object.head == head {
+        Some(AnswerRole::Object)
+    } else {
+        None
+    }
+}
+
+/// Map `(consumer role, provider role)` to the edge label (Algorithm 3's
+/// table convention).
+fn dependency_of(consumer: AnswerRole, provider: AnswerRole) -> Dependency {
+    match (consumer, provider) {
+        (AnswerRole::Subject, AnswerRole::Subject) => Dependency::S2S,
+        (AnswerRole::Subject, AnswerRole::Object) => Dependency::S2O,
+        (AnswerRole::Object, AnswerRole::Subject) => Dependency::O2S,
+        (AnswerRole::Object, AnswerRole::Object) => Dependency::O2O,
+    }
+}
+
+/// Question-type detection: "how many" → counting; sentence-initial
+/// auxiliary → judgment; otherwise reasoning.
+fn detect_question_type(tree: &DepTree) -> QuestionType {
+    for i in 0..tree.len().saturating_sub(1) {
+        if tree.text(i) == "how" && tree.text(i + 1) == "many" {
+            return QuestionType::Counting;
+        }
+    }
+    if !tree.is_empty()
+        && matches!(
+            tree.text(0),
+            "do" | "does" | "did" | "is" | "are" | "was" | "were"
+        )
+    {
+        return QuestionType::Judgment;
+    }
+    QuestionType::Reasoning
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(q: &str) -> QueryGraph {
+        QueryGraphGenerator::new()
+            .generate(q)
+            .unwrap_or_else(|e| panic!("generate failed for {q:?}: {e}"))
+    }
+
+    #[test]
+    fn example1_full_question() {
+        // The running example of the paper (Example 1 / Figure 4).
+        let g = generate(
+            "What kind of clothes are worn by the wizard who is most frequently hanging out with Harry Potter's girlfriend?",
+        );
+        assert_eq!(g.question_type, QuestionType::Reasoning);
+        // Three vertices: main clause, relative clause, possessive aux.
+        assert_eq!(g.len(), 3, "{:#?}", g.vertices);
+
+        let main = &g.vertices[0];
+        assert_eq!(main.subject.head, "wizard");
+        assert_eq!(main.predicate, "wear");
+        assert_eq!(main.object.head, "clothes");
+        assert_eq!(main.object.phrase, "kind of clothes");
+        assert!(main.asks_kind);
+        assert_eq!(main.answer_role, Some(AnswerRole::Object));
+
+        let rel = &g.vertices[1];
+        assert_eq!(rel.subject.head, "wizard");
+        assert_eq!(rel.predicate, "hang out with");
+        assert_eq!(rel.object.head, "girlfriend");
+        assert_eq!(rel.constraint.as_deref(), Some("most frequently"));
+
+        let aux = &g.vertices[2];
+        assert!(aux.subject.is_empty());
+        assert_eq!(aux.predicate, "girlfriend of");
+        assert_eq!(aux.object.phrase, "harry potter");
+
+        // Edges: aux → rel (O2S: rel's object ← aux's subject answers),
+        // rel → main (S2S on the shared "wizard").
+        assert_eq!(g.edges.len(), 2, "{:?}", g.edges);
+        assert!(g.edges.contains(&QueryEdge {
+            provider: 2,
+            consumer: 1,
+            dependency: Dependency::O2S
+        }));
+        assert!(g.edges.contains(&QueryEdge {
+            provider: 1,
+            consumer: 0,
+            dependency: Dependency::S2S
+        }));
+        // Execution: aux first, then rel, then main.
+        assert_eq!(g.execution_order(), Some(vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn example7_two_clause_question() {
+        // Figure 7: "What kind of animals is carried by the pets that were
+        // situated in the car?"
+        let g = generate("What kind of animals is carried by the pets that were situated in the car?");
+        assert_eq!(g.len(), 2);
+        let main = &g.vertices[0];
+        assert_eq!(main.subject.head, "pet");
+        assert_eq!(main.predicate, "carry");
+        assert_eq!(main.object.head, "animal");
+        assert!(main.asks_kind);
+        let rel = &g.vertices[1];
+        assert_eq!(rel.subject.head, "pet");
+        assert_eq!(rel.predicate, "situated in");
+        assert_eq!(rel.object.head, "car");
+        assert_eq!(
+            g.edges,
+            vec![QueryEdge {
+                provider: 1,
+                consumer: 0,
+                dependency: Dependency::S2S
+            }]
+        );
+    }
+
+    #[test]
+    fn judgment_question() {
+        let g = generate("Does the dog that is sitting on the bed appear in front of the tv?");
+        assert_eq!(g.question_type, QuestionType::Judgment);
+        assert_eq!(g.len(), 2);
+        let main = &g.vertices[0];
+        assert_eq!(main.subject.head, "dog");
+        assert_eq!(main.predicate, "in front of");
+        assert_eq!(main.object.head, "tv");
+        assert_eq!(main.answer_role, None);
+        let rel = &g.vertices[1];
+        assert_eq!(rel.predicate, "sitting on");
+        assert_eq!(rel.object.head, "bed");
+    }
+
+    #[test]
+    fn counting_question() {
+        let g = generate("How many dogs are sitting on the grass near the man?");
+        assert_eq!(g.question_type, QuestionType::Counting);
+        let main = &g.vertices[0];
+        assert_eq!(main.subject.head, "dog");
+        assert_eq!(main.answer_role, Some(AnswerRole::Subject));
+        assert_eq!(main.predicate, "sitting on");
+        assert_eq!(main.object.head, "grass");
+    }
+
+    #[test]
+    fn single_clause_reasoning() {
+        let g = generate("What kind of animals is carried by the dog?");
+        assert_eq!(g.len(), 1);
+        let v = &g.vertices[0];
+        assert_eq!(v.subject.head, "dog");
+        assert_eq!(v.predicate, "carry");
+        assert_eq!(v.object.head, "animal");
+        assert!(g.edges.is_empty());
+        assert_eq!(g.answer_vertex(), 0);
+    }
+
+    #[test]
+    fn stative_passive_subject_is_patient() {
+        let g = generate("Which pets were situated in the car?");
+        let v = &g.vertices[0];
+        assert_eq!(v.subject.head, "pet");
+        assert_eq!(v.predicate, "situated in");
+        assert_eq!(v.object.head, "car");
+        assert_eq!(v.answer_role, Some(AnswerRole::Subject));
+    }
+
+    #[test]
+    fn three_clause_chain() {
+        let g = generate(
+            "What kind of clothes are worn by the wizard who is watching the dog that is sitting on the grass?",
+        );
+        assert_eq!(g.len(), 3);
+        let order = g.execution_order().unwrap();
+        // Innermost (sitting) first, main (worn) last.
+        assert_eq!(*order.last().unwrap(), 0);
+        // All three question clauses connected.
+        assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn conjoined_judgment_clauses() {
+        // "Combining two related simple questions into a complex question"
+        // (the paper's modified-VQAv2 construction).
+        let g = generate("Does the dog appear in the car and does the man appear near the bus?");
+        assert_eq!(g.question_type, QuestionType::Judgment);
+        assert_eq!(g.len(), 2, "{:#?}", g.vertices);
+        let heads: Vec<(&str, &str, &str)> = g
+            .vertices
+            .iter()
+            .map(|v| (v.subject.head.as_str(), v.predicate.as_str(), v.object.head.as_str()))
+            .collect();
+        assert!(heads.contains(&("dog", "in", "car")), "{heads:?}");
+        assert!(heads.contains(&("man", "near", "bus")), "{heads:?}");
+        // Independent conjuncts: no dependency edges.
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn foreign_word_degrades_parse() {
+        // Fig. 8a: "canis" → FW. The SPOC survives but with a degraded
+        // subject (the FW token is invisible to NP extraction), or the
+        // parse fails outright — either way the pipeline yields a query
+        // that cannot match the intended vertex.
+        let result = QueryGraphGenerator::new()
+            .generate("Does the kind of canis that is sitting on the bed appear in front of the vehicle?");
+        #[allow(clippy::single_match)]
+        match result {
+            Ok(g) => {
+                let heads: Vec<_> = g
+                    .vertices
+                    .iter()
+                    .flat_map(|v| [v.subject.head.clone(), v.object.head.clone()])
+                    .collect();
+                assert!(
+                    !heads.contains(&"canis".to_owned()),
+                    "FW token should not survive as an NP head: {heads:?}"
+                );
+            }
+            Err(_) => {} // also an acceptable degradation
+        }
+    }
+
+    #[test]
+    fn constraint_absent_when_no_keyword() {
+        let g = generate("What kind of clothes are worn by the wizard?");
+        assert_eq!(g.vertices[0].constraint, None);
+    }
+
+    #[test]
+    fn unparseable_input_is_error() {
+        let r = QueryGraphGenerator::new().generate("the red dog");
+        assert!(matches!(r, Err(QueryParseError::Nlp(_))));
+    }
+
+    #[test]
+    fn clause_count_statistics() {
+        // MVQA averages 2.2 clauses; sanity-check the generator counts
+        // clauses the way Table II does.
+        let one = generate("How many dogs are sitting on the grass?");
+        assert_eq!(one.len(), 1);
+        let two = generate("What kind of animals is carried by the pets that were situated in the car?");
+        assert_eq!(two.len(), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # svqa-qparser
+//!
+//! The Query Graph Generator of the SVQA reproduction (§IV, Algorithm 2):
+//! transforms a complex natural-language question `Q` into a query graph
+//! `G_q` — a DAG of SPOC quadruples (subject, predicate, object,
+//! constraint) whose edges encode how sub-query answers flow into later
+//! sub-queries.
+//!
+//! Pipeline (Algorithm 2):
+//! 1. **Initial stage** — POS-tag the question and build its dependency
+//!    tree (`svqa-nlp`).
+//! 2. **Parse stage** — segment clauses around content verbs and run the
+//!    SPOC extraction state machine over each clause ([`spoc`]): passive
+//!    voice is normalized to active ("are worn" → "wear"), relative
+//!    pronouns are replenished with their antecedents via the `acl` edge,
+//!    and constraint adverbials ("most frequently") become `c_c`.
+//! 3. **Connect stage** — vertices that share a noun phrase get a directed
+//!    dependency edge ([`qgraph::Dependency`]); inner (more deeply
+//!    embedded) clauses point at the clauses that consume their answers.
+//!
+//! Note on edge naming: the paper's Fig. 4 prose calls its example edge
+//! "S2S" while its own Algorithm 3 replacement table (`S2O ⇒
+//! Replace(v'.c_s, AP.Obj)` etc.) fixes the convention *consumer role ←
+//! provider side*. We follow the table: the first letter names the
+//! consumer's SPOC slot being replaced, the second the provider's answer
+//! side being written into it.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod clause;
+pub mod generator;
+pub mod qgraph;
+pub mod spoc;
+
+pub use builder::{BuildError, QueryBuilder};
+pub use generator::{QueryGraphGenerator, QueryParseError};
+pub use qgraph::{Dependency, QueryEdge, QueryGraph, QuestionType};
+pub use spoc::{AnswerRole, NounPhrase, Spoc};

@@ -1,0 +1,93 @@
+//! Property-based tests for the query-graph generator: on template-shaped
+//! inputs the generator must produce well-formed, executable query graphs;
+//! on arbitrary word soup it must fail cleanly, never panic.
+
+use proptest::prelude::*;
+use svqa_qparser::{QueryGraphGenerator, QuestionType};
+
+const NOUNS: [&str; 8] = ["dog", "cat", "man", "woman", "wizard", "car", "bed", "hat"];
+const REL_PREDS: [&str; 6] = ["sitting on", "in", "near", "holding", "wearing", "carrying"];
+const SPATIAL: [&str; 4] = ["near", "in front of", "behind", "in"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn judgment_templates_always_parse(
+        a in prop::sample::select(&NOUNS[..]),
+        p1 in prop::sample::select(&REL_PREDS[..]),
+        b in prop::sample::select(&NOUNS[..]),
+        p2 in prop::sample::select(&SPATIAL[..]),
+        c in prop::sample::select(&NOUNS[..]),
+    ) {
+        let q = format!("Does the {a} that is {p1} the {b} appear {p2} the {c}?");
+        let gq = QueryGraphGenerator::new().generate(&q).unwrap();
+        prop_assert_eq!(gq.question_type, QuestionType::Judgment);
+        prop_assert_eq!(gq.len(), 2, "{:#?}", gq.vertices);
+        // Well-formed DAG with the inner clause as provider.
+        let order = gq.execution_order().unwrap();
+        prop_assert_eq!(order.len(), 2);
+        prop_assert_eq!(*order.last().unwrap(), 0);
+        // Subjects share the head noun.
+        prop_assert_eq!(&gq.vertices[0].subject.head, &gq.vertices[1].subject.head);
+    }
+
+    #[test]
+    fn counting_templates_always_parse(
+        a in prop::sample::select(&["dog", "cat", "man", "hat"][..]),
+        p1 in prop::sample::select(&REL_PREDS[..]),
+        b in prop::sample::select(&NOUNS[..]),
+        p2 in prop::sample::select(&SPATIAL[..]),
+        c in prop::sample::select(&NOUNS[..]),
+    ) {
+        let q = format!("How many {a}s that are {p1} the {b} are {p2} the {c}?");
+        let gq = QueryGraphGenerator::new().generate(&q).unwrap();
+        prop_assert_eq!(gq.question_type, QuestionType::Counting);
+        prop_assert_eq!(gq.len(), 2, "{:?} -> {:#?}", q, gq.vertices);
+        let answer = &gq.vertices[gq.answer_vertex()];
+        prop_assert!(answer.answer_role.is_some(), "{:?}", q);
+    }
+
+    #[test]
+    fn reasoning_templates_always_parse(
+        class in prop::sample::select(&["animals", "vehicles", "clothes"][..]),
+        pass in prop::sample::select(&["carried", "held", "worn", "watched"][..]),
+        a in prop::sample::select(&NOUNS[..]),
+        p2 in prop::sample::select(&REL_PREDS[..]),
+        b in prop::sample::select(&NOUNS[..]),
+    ) {
+        let q = format!("What kind of {class} is {pass} by the {a} that is {p2} the {b}?");
+        let gq = QueryGraphGenerator::new().generate(&q).unwrap();
+        prop_assert_eq!(gq.question_type, QuestionType::Reasoning);
+        prop_assert_eq!(gq.len(), 2, "{:?} -> {:#?}", q, gq.vertices);
+        let main = &gq.vertices[0];
+        prop_assert!(main.asks_kind, "{:?}", q);
+        // Voice normalization: the agent is the subject.
+        prop_assert_eq!(main.subject.head.as_str(), a);
+    }
+
+    #[test]
+    fn word_soup_never_panics(words in proptest::collection::vec("[a-z]{1,8}", 0..12)) {
+        let q = words.join(" ");
+        // Any outcome is fine except a panic.
+        let _ = QueryGraphGenerator::new().generate(&q);
+    }
+
+    #[test]
+    fn generated_graphs_are_acyclic(
+        a in prop::sample::select(&NOUNS[..]),
+        p1 in prop::sample::select(&REL_PREDS[..]),
+        b in prop::sample::select(&NOUNS[..]),
+    ) {
+        let q = format!(
+            "What kind of clothes are worn by the {a} that is {p1} the {b} that is near the man?"
+        );
+        if let Ok(gq) = QueryGraphGenerator::new().generate(&q) {
+            prop_assert!(gq.execution_order().is_some(), "cyclic graph for {:?}", q);
+            for e in &gq.edges {
+                prop_assert!(e.provider < gq.len() && e.consumer < gq.len());
+                prop_assert_ne!(e.provider, e.consumer);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bounding boxes.
+//!
+//! The paper (§III-A): "Each bounding box `b_i` is a tuple
+//! `(x_i, y_i, w_i, h_i)`, where `(x_i, y_i)` are the coordinates of the
+//! top-left corner". Coordinates are in a normalized `[0, 1]` image frame
+//! (the synthetic scenes have no pixel grid).
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box `(x, y, w, h)` with top-left origin;
+/// `y` grows downward (image convention).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl BBox {
+    /// Construct a box; width/height are clamped to non-negative.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        BBox {
+            x,
+            y,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Center point `(cx, cy)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Bottom edge y-coordinate (larger y = lower in the image).
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Right edge x-coordinate.
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Intersection area with another box.
+    pub fn intersection_area(&self, other: &BBox) -> f64 {
+        let ix = (self.right().min(other.right()) - self.x.max(other.x)).max(0.0);
+        let iy = (self.bottom().min(other.bottom()) - self.y.max(other.y)).max(0.0);
+        ix * iy
+    }
+
+    /// Intersection-over-union.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Fraction of `self`'s area inside `other`.
+    pub fn containment_in(&self, other: &BBox) -> f64 {
+        let a = self.area();
+        if a <= 0.0 {
+            0.0
+        } else {
+            self.intersection_area(other) / a
+        }
+    }
+
+    /// Euclidean distance between centers.
+    pub fn center_distance(&self, other: &BBox) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Horizontal overlap length with another box.
+    pub fn x_overlap(&self, other: &BBox) -> f64 {
+        (self.right().min(other.right()) - self.x.max(other.x)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_center() {
+        let b = BBox::new(0.1, 0.2, 0.4, 0.2);
+        assert!((b.area() - 0.08).abs() < 1e-12);
+        let (cx, cy) = b.center();
+        assert!((cx - 0.3).abs() < 1e-12);
+        assert!((cy - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_dims_clamped() {
+        let b = BBox::new(0.0, 0.0, -1.0, -2.0);
+        assert_eq!(b.area(), 0.0);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 0.1, 0.1);
+        let b = BBox::new(0.5, 0.5, 0.1, 0.1);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let a = BBox::new(0.2, 0.2, 0.3, 0.3);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_partial_overlap() {
+        let a = BBox::new(0.0, 0.0, 0.2, 0.2);
+        let b = BBox::new(0.1, 0.0, 0.2, 0.2);
+        // intersection 0.1*0.2 = 0.02; union 0.04+0.04-0.02 = 0.06.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn containment() {
+        let inner = BBox::new(0.1, 0.1, 0.1, 0.1);
+        let outer = BBox::new(0.0, 0.0, 0.5, 0.5);
+        assert!((inner.containment_in(&outer) - 1.0).abs() < 1e-12);
+        assert!(outer.containment_in(&inner) < 0.1);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = BBox::new(0.0, 0.0, 0.2, 0.2);
+        let b = BBox::new(0.6, 0.8, 0.2, 0.2);
+        assert!((a.center_distance(&b) - b.center_distance(&a)).abs() < 1e-12);
+        assert!((a.center_distance(&b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = BBox::new(0.1, 0.2, 0.3, 0.4);
+        let j = serde_json::to_string(&b).unwrap();
+        let back: BBox = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, b);
+    }
+}

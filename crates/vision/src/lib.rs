@@ -1,0 +1,48 @@
+//! # svqa-vision
+//!
+//! The visual substrate of the SVQA reproduction (§III-A of the paper):
+//! scene-graph generation from images.
+//!
+//! The paper's pipeline uses a trained Mask R-CNN for object detection and
+//! an RNN-based MOTIFNET for relation prediction, debiased with Total
+//! Direct Effect (TDE). Per the substitution policy in `DESIGN.md`, images
+//! are replaced by [`scene::SyntheticImage`]s — procedurally generated
+//! ground-truth scenes — and the trained networks by *noise channels* over
+//! that ground truth with the same interfaces and failure modes:
+//!
+//! * [`detector`] — the Mask R-CNN stand-in: per-category detection
+//!   probability, a label confusion matrix (Fig. 8b's "toy bear → bear"),
+//!   bounding-box jitter, spurious detections; emits `(b_i, m_i, l_i)`
+//!   triples exactly as Eq. (1) consumes them;
+//! * [`feature`] — feature maps `m_i`: deterministic vectors encoding
+//!   geometry, depth and appearance (what the RPN features carry);
+//! * [`prior`] — the label-pair co-occurrence prior, i.e. the *training
+//!   bias* that TDE subtracts, fitted on ground-truth scenes;
+//! * [`relation`] — the MOTIFNET stand-in: relation probability = feature
+//!   evidence + label prior (Eq. (1)); masking the feature maps leaves the
+//!   prior (Eq. (2)); the TDE difference recovers the explicit predicate
+//!   (Eq. (3));
+//! * [`sgg`] — scene-graph generation end-to-end, with the three model
+//!   parameterisations of Table V (Neural Motifs / VCTree / VTransE), each
+//!   in Original and TDE mode;
+//! * [`eval`] — the Mean Recall@K (mR@K) metric of Exp-3.
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod detector;
+pub mod eval;
+pub mod feature;
+pub mod prior;
+pub mod relation;
+pub mod scene;
+pub mod sgg;
+
+pub use bbox::BBox;
+pub use detector::{Detection, Detector, DetectorConfig};
+pub use eval::{mean_recall_at_k, RelationPrediction};
+pub use feature::FeatureMap;
+pub use prior::PairPrior;
+pub use relation::{RelationPredictor, RELATION_VOCAB};
+pub use scene::{SceneObject, SyntheticImage};
+pub use sgg::{SceneGraphGenerator, SggConfig, SggModel};

@@ -1,0 +1,64 @@
+//! Streaming ingestion — the data-lake scenario of the paper's §I.
+//!
+//! Builds the system on an initial corpus, answers a question, then
+//! streams in new batches of images with [`svqa::Svqa::add_images`] and
+//! watches the answer change as new evidence arrives. Also demonstrates
+//! the aggregator-level [`svqa::aggregator::IncrementalMerger`], which
+//! keeps Algorithm 1's subgraph cache alive across batches.
+//!
+//! ```text
+//! cargo run -p svqa --example incremental_stream --release
+//! ```
+
+use svqa::aggregator::{AggregatorConfig, IncrementalMerger};
+use svqa::dataset::{build_knowledge_graph, generate_images};
+use svqa::vision::prior::PairPrior;
+use svqa::vision::sgg::{SceneGraphGenerator, SggConfig};
+use svqa::{Svqa, SvqaConfig};
+
+fn main() {
+    let all_images = generate_images(1200, 2718);
+    let (initial, stream) = all_images.split_at(400);
+    let kg = build_knowledge_graph();
+
+    println!("initial corpus: {} images", initial.len());
+    let mut system = Svqa::build(initial, &kg, SvqaConfig::default());
+
+    let question = "How many dogs are in the car?";
+    let answer = system.answer(question).unwrap();
+    println!("Q: {question}");
+    println!("A (t=0): {answer}");
+
+    // Stream the remaining images in batches of 200.
+    for (batch_idx, batch) in stream.chunks(200).enumerate() {
+        let links = system.add_images(batch);
+        let answer = system.answer(question).unwrap();
+        println!(
+            "A (t={}, +{} images, {} new links): {answer}",
+            batch_idx + 1,
+            batch.len(),
+            links
+        );
+    }
+    let stats = system.build_stats();
+    println!(
+        "final merged graph: {} vertices, {} edges over {} scene graphs",
+        stats.merged_vertices, stats.merged_edges, stats.scene_graphs
+    );
+
+    // The aggregator-level incremental path, with cache accounting.
+    println!("\nAlgorithm-1 incremental merger:");
+    let prior = PairPrior::fit(&all_images);
+    let sgg = SceneGraphGenerator::new(SggConfig::default(), prior);
+    let seed_graphs: Vec<_> = initial.iter().map(|i| sgg.generate(i).graph).collect();
+    let mut merger = IncrementalMerger::new(AggregatorConfig::default(), &kg, &seed_graphs);
+    for batch in stream.chunks(200) {
+        let graphs: Vec<_> = batch.iter().map(|i| sgg.generate(i).graph).collect();
+        let links = merger.attach_batch(&graphs);
+        let (hits, misses) = merger.cache_stats();
+        println!(
+            "  +{} scene graphs: {links} links, cache {hits} hits / {misses} misses",
+            graphs.len()
+        );
+    }
+}

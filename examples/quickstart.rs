@@ -1,0 +1,65 @@
+//! Quickstart: build a small MVQA world and answer the paper's running
+//! example end-to-end (Example 1 / Figures 4–5).
+//!
+//! ```text
+//! cargo run -p svqa --example quickstart --release
+//! ```
+
+use svqa::{Svqa, SvqaConfig};
+use svqa_dataset::Mvqa;
+
+fn main() {
+    // 1. A synthetic MVQA-style world: images + knowledge graph.
+    println!("generating a 1,000-image MVQA world...");
+    let mvqa = Mvqa::generate_small(1000, 7);
+
+    // 2. Offline phase: scene graphs → merged graph (Fig. 2 left side).
+    println!("building the merged graph (scene-graph generation + Algorithm 1)...");
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    let stats = system.build_stats();
+    println!(
+        "merged graph: {} vertices, {} edges ({} scene graphs; {} cached subgraphs, {:.0}% of labels cached, {:.0}% of vertices covered)",
+        stats.merged_vertices,
+        stats.merged_edges,
+        stats.scene_graphs,
+        stats.merge.cached_subgraphs,
+        stats.merge.fraction_labels_cached * 100.0,
+        stats.merge.fraction_vertices_covered * 100.0,
+    );
+
+    // 3. The paper's Example 1 question, end-to-end.
+    let question = "What kind of clothes are worn by the wizard who is most \
+                    frequently hanging out with Harry Potter's girlfriend?";
+    println!("\nQ: {question}");
+
+    // Show the query graph (Algorithm 2's output, Fig. 4).
+    let gq = system.parse(question).expect("question parses");
+    println!("query graph ({:?}):", gq.question_type);
+    for (i, v) in gq.vertices.iter().enumerate() {
+        println!("  v{i}: {}", v.display());
+    }
+    for e in &gq.edges {
+        println!(
+            "  v{} --{}--> v{}",
+            e.provider,
+            e.dependency.as_str(),
+            e.consumer
+        );
+    }
+
+    // Execute it (Algorithm 3, Fig. 5).
+    let answer = system.answer(question).expect("question executes");
+    println!("A: {answer}");
+
+    // 4. A few more question types.
+    for q in [
+        "Does the dog appear in the car?",
+        "How many dogs are sitting on the grass?",
+        "What kind of animals is carried by the pets that were situated in the car?",
+    ] {
+        match system.answer(q) {
+            Ok(a) => println!("\nQ: {q}\nA: {a}"),
+            Err(e) => println!("\nQ: {q}\nA: <error: {e}>"),
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Integration tests for the MVQA dataset against the NLP/query stack: the
+//! generated questions must be fully consumable by the parser, and the
+//! structured ground truth must agree with what the parsed query graphs
+//! express.
+
+use svqa::dataset::groundtruth::Side;
+use svqa::qparser::{AnswerRole, QueryGraphGenerator};
+use svqa_dataset::Mvqa;
+
+#[test]
+fn parsed_query_graphs_mirror_the_structured_specs() {
+    let mvqa = Mvqa::generate_small(800, 2718);
+    let generator = QueryGraphGenerator::new();
+    for (pair, spec) in mvqa.questions.iter().zip(&mvqa.specs) {
+        if pair.adversarial {
+            continue;
+        }
+        let gq = generator
+            .generate(&pair.question)
+            .unwrap_or_else(|e| panic!("{:?}: {e}", pair.question));
+        assert_eq!(gq.len(), spec.chain.len(), "{:?}", pair.question);
+        assert_eq!(gq.edges.len(), spec.links.len(), "{:?}", pair.question);
+        // The answer slot agrees (judgment questions have no answer slot —
+        // the yes/no comes from AP emptiness).
+        if pair.qtype != svqa::qparser::QuestionType::Judgment {
+            let parsed_side = gq.vertices[gq.answer_vertex()]
+                .answer_role
+                .unwrap_or(AnswerRole::Object);
+            let expected = match spec.answer_side {
+                Side::Sub => AnswerRole::Subject,
+                Side::Obj => AnswerRole::Object,
+            };
+            assert_eq!(parsed_side, expected, "{:?}", pair.question);
+        }
+    }
+}
+
+#[test]
+fn parsed_spocs_use_the_spec_vocabulary() {
+    // Clause 0's subject/object heads should be recognizable forms of the
+    // structured heads (lemma equality, or prefix for lemmatization
+    // variants).
+    let mvqa = Mvqa::generate_small(800, 2718);
+    let generator = QueryGraphGenerator::new();
+    let mut checked = 0;
+    for (pair, spec) in mvqa.questions.iter().zip(&mvqa.specs) {
+        if pair.adversarial {
+            continue;
+        }
+        let Ok(gq) = generator.generate(&pair.question) else {
+            continue;
+        };
+        let main = &gq.vertices[0];
+        let spec_main = &spec.chain[0];
+        for (parsed, structured) in [
+            (&main.subject.head, &spec_main.sub),
+            (&main.object.head, &spec_main.obj),
+        ] {
+            if structured.is_empty() || parsed.is_empty() {
+                continue;
+            }
+            let p = parsed.as_str();
+            let s = structured.as_str();
+            assert!(
+                p == s || p.starts_with(s) || s.starts_with(p),
+                "vocabulary drift in {:?}: parsed {p:?} vs spec {s:?}",
+                pair.question
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "too few comparisons ran: {checked}");
+}
+
+#[test]
+fn dataset_statistics_are_scale_invariant_in_shape() {
+    let small = Mvqa::generate_small(400, 1).stats();
+    let larger = Mvqa::generate_small(1200, 1).stats();
+    // Question composition is fixed by Table II regardless of image count.
+    assert_eq!(small.judgment.questions, larger.judgment.questions);
+    assert_eq!(small.counting.questions, larger.counting.questions);
+    assert_eq!(small.reasoning.questions, larger.reasoning.questions);
+    assert_eq!(small.total_clauses, 219);
+    assert_eq!(larger.total_clauses, 219);
+    // Scan sets grow with the dataset.
+    assert!(larger.judgment.avg_images > small.judgment.avg_images);
+}
+
+#[test]
+fn ground_truth_reeval_is_stable() {
+    // Re-evaluating the stored specs must reproduce the stored answers.
+    let mvqa = Mvqa::generate_small(600, 99);
+    let gt = svqa::dataset::GroundTruth::new(&mvqa.images, &mvqa.kg);
+    for (pair, spec) in mvqa.questions.iter().zip(&mvqa.specs) {
+        let again = gt.eval(&spec.chain, &spec.links, spec.qtype, spec.answer_side);
+        assert_eq!(again, pair.answer, "{:?}", pair.question);
+    }
+}

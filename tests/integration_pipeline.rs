@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the full Fig. 2 pipeline.
+
+use svqa::executor::Answer;
+use svqa::{evaluate_on_mvqa, Svqa, SvqaConfig, SvqaError};
+use svqa_dataset::{GtAnswer, Mvqa};
+
+fn world() -> (Svqa, Mvqa) {
+    let mvqa = Mvqa::generate_small(500, 314);
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    (system, mvqa)
+}
+
+#[test]
+fn merged_graph_is_well_formed_and_linked() {
+    let (system, mvqa) = world();
+    let g = system.merged_graph();
+    g.validate().unwrap();
+    // KG + scene vertices.
+    assert!(g.vertex_count() > mvqa.kg.vertex_count());
+    // Link edges exist.
+    assert!(g.edge_label_counts().any(|(l, _)| l == "same as"));
+    // Every scene vertex carries its image id.
+    let stats = system.build_stats();
+    assert_eq!(stats.scene_graphs, mvqa.images.len());
+    assert!(stats.merge.links_created > 0);
+}
+
+#[test]
+fn example1_pipeline_answers_a_garment() {
+    // The paper's flagship question must produce a clothing category.
+    let (system, _) = world();
+    let answer = system
+        .answer(
+            "What kind of clothes are worn by the wizard who is most \
+             frequently hanging out with Harry Potter's girlfriend?",
+        )
+        .expect("question executes");
+    match answer {
+        Answer::Entity { label, .. } => {
+            assert!(
+                label == "robe" || label == "hat",
+                "expected a signature garment, got {label}"
+            );
+        }
+        other => panic!("expected an entity answer, got {other:?}"),
+    }
+}
+
+#[test]
+fn all_mvqa_questions_execute_or_fail_as_parse_errors() {
+    let (system, mvqa) = world();
+    for q in &mvqa.questions {
+        match system.answer(&q.question) {
+            Ok(_) => {}
+            // Adversarial rare-word questions may fail to parse (Fig. 8a);
+            // nothing else is allowed to error.
+            Err(SvqaError::Parse(_)) => {
+                assert!(q.adversarial, "non-adversarial parse failure: {:?}", q.question)
+            }
+            Err(e) => panic!("unexpected error for {:?}: {e}", q.question),
+        }
+    }
+}
+
+#[test]
+fn answer_types_match_question_types() {
+    let (system, mvqa) = world();
+    for q in &mvqa.questions {
+        let Ok(answer) = system.answer(&q.question) else {
+            continue;
+        };
+        match q.answer {
+            GtAnswer::YesNo(_) => assert!(
+                matches!(answer, Answer::Judgment(_)),
+                "{:?} → {answer:?}",
+                q.question
+            ),
+            GtAnswer::Count(_) => assert!(
+                matches!(answer, Answer::Count(_)),
+                "{:?} → {answer:?}",
+                q.question
+            ),
+            GtAnswer::Entity(_) => assert!(
+                matches!(answer, Answer::Entity { .. } | Answer::Unknown),
+                "{:?} → {answer:?}",
+                q.question
+            ),
+        }
+    }
+}
+
+#[test]
+fn end_to_end_accuracy_beats_chance_by_far() {
+    let (system, mvqa) = world();
+    let outcome = evaluate_on_mvqa(&system, &mvqa);
+    assert!(
+        outcome.overall > 0.7,
+        "pipeline accuracy regressed: {outcome:?}"
+    );
+}
+
+#[test]
+fn batch_answers_match_single_answers() {
+    let (system, mvqa) = world();
+    let questions: Vec<&str> = mvqa
+        .questions
+        .iter()
+        .take(20)
+        .map(|q| q.question.as_str())
+        .collect();
+    let batch = system.answer_batch(&questions);
+    for (q, batched) in questions.iter().zip(&batch.answers) {
+        let single = system.answer(q);
+        match (batched, single) {
+            (Ok(a), Ok(b)) => assert_eq!(a, &b, "mismatch on {q:?}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("divergent outcomes for {q:?}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let mvqa = Mvqa::generate_small(300, 11);
+    let s1 = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    let s2 = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    assert_eq!(
+        s1.merged_graph().vertex_count(),
+        s2.merged_graph().vertex_count()
+    );
+    assert_eq!(s1.merged_graph().edge_count(), s2.merged_graph().edge_count());
+    for q in mvqa.questions.iter().take(10) {
+        assert_eq!(
+            s1.answer(&q.question).ok(),
+            s2.answer(&q.question).ok(),
+            "nondeterministic answer for {:?}",
+            q.question
+        );
+    }
+}
+
+#[test]
+fn tde_improves_end_to_end_accuracy() {
+    // The Table V claim at pipeline level: TDE ≥ Original overall.
+    let mvqa = Mvqa::generate_small(500, 314);
+    let mut orig_cfg = SvqaConfig::default();
+    orig_cfg.sgg.use_tde = false;
+    let orig = Svqa::build(&mvqa.images, &mvqa.kg, orig_cfg);
+    let tde = Svqa::build(&mvqa.images, &mvqa.kg, SvqaConfig::default());
+    let orig_acc = evaluate_on_mvqa(&orig, &mvqa).overall;
+    let tde_acc = evaluate_on_mvqa(&tde, &mvqa).overall;
+    assert!(
+        tde_acc >= orig_acc,
+        "TDE {tde_acc} should not lose to Original {orig_acc}"
+    );
+}
