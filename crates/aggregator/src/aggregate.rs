@@ -85,6 +85,7 @@ impl DataAggregator {
 
     /// Algorithm 1: merge `scene_graphs` into knowledge graph `kg`.
     pub fn merge(&self, scene_graphs: &[Graph], kg: &Graph) -> MergedGraph {
+        let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::AGGREGATE);
         // --- Initial stage (lines 1–7): build the subgraph cache. ---
         let (mut cache, histogram) =
             SubgraphCache::build(scene_graphs, kg, self.config.frequency_threshold, self.config.k);

@@ -68,14 +68,21 @@ impl Table {
 }
 
 /// Write a serializable report to `results/<name>.json` (best effort — the
-/// harness still prints everything).
+/// harness still prints everything). The payload is wrapped alongside a
+/// `telemetry` section holding the process-global metrics snapshot at save
+/// time, so every saved experiment carries its span histograms, counters,
+/// and cache hit rates.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(value) {
+    let wrapped = serde_json::json!({
+        "results": value,
+        "telemetry": svqa_telemetry::global().snapshot(),
+    });
+    if let Ok(json) = serde_json::to_string_pretty(&wrapped) {
         let _ = std::fs::write(path, json);
     }
 }

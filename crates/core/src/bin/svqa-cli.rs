@@ -5,8 +5,14 @@
 //! svqa-cli build --images 1000 --seed 7 --out world/     # offline phase
 //! svqa-cli ask   --world world/ "How many dogs are in the car?"
 //! svqa-cli eval  --world world/                          # Table-III style report
-//! svqa-cli repl  --images 500                            # interactive loop
+//! svqa-cli eval  --images 200 --metrics out.json         # in-process build + metrics dump
+//! svqa-cli repl  --images 500 --verbose                  # interactive loop with traces
+//! svqa-cli stats --images 200                            # build stats + telemetry summary
 //! ```
+//!
+//! `--metrics <file.json>` (on `ask` and `eval`) writes the process-global
+//! telemetry snapshot — per-stage latency histograms with p50/p95/p99,
+//! counters, and cache hit rates — as pretty-printed JSON.
 //!
 //! The world directory holds the merged graph as a binary snapshot
 //! (`merged.svqg`, see `svqa_graph::binio`) plus the generated questions
@@ -16,7 +22,7 @@
 use std::io::{BufRead, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use svqa::dataset::mvqa::{Mvqa, MvqaConfig, PredictedAnswer};
+use svqa::dataset::mvqa::{Mvqa, MvqaConfig};
 use svqa::dataset::questions::{QaPair, QuestionCounts};
 use svqa::executor::executor::QueryGraphExecutor;
 use svqa::qparser::QueryGraphGenerator;
@@ -29,9 +35,10 @@ fn main() -> ExitCode {
         Some("ask") => cmd_ask(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: svqa-cli <build|ask|eval|repl> [--images N] [--seed S] [--out DIR] [--world DIR] [question]"
+                "usage: svqa-cli <build|ask|eval|repl|stats> [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] [--verbose] [question]"
             );
             return ExitCode::FAILURE;
         }
@@ -123,6 +130,16 @@ fn load_world(dir: &Path) -> Result<(svqa::graph::Graph, Vec<QaPair>), AnyError>
 }
 
 fn answer_over(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyError> {
+    let result = answer_over_inner(graph, question);
+    let counter = match result {
+        Ok(()) => svqa::telemetry::counter::QUESTIONS_ANSWERED,
+        Err(_) => svqa::telemetry::counter::QUESTIONS_FAILED,
+    };
+    svqa::telemetry::global().incr_counter(counter);
+    result
+}
+
+fn answer_over_inner(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyError> {
     let generator = QueryGraphGenerator::new();
     let gq = generator.generate(question)?;
     println!("query graph ({:?}):", gq.question_type);
@@ -145,28 +162,84 @@ fn answer_over(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyErro
     Ok(())
 }
 
+/// Write the process-global telemetry snapshot as pretty JSON, if asked.
+fn write_metrics(path: Option<&str>) -> Result<(), AnyError> {
+    if let Some(path) = path {
+        std::fs::write(path, svqa::telemetry::global().snapshot().to_json_pretty())?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_ask(args: &[String]) -> Result<(), AnyError> {
     let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+    let metrics = flag(args, "--metrics");
     let question = positional(args).ok_or("no question given")?;
     let (graph, _) = load_world(&world)?;
-    answer_over(&graph, &question)
+    let outcome = answer_over(&graph, &question);
+    write_metrics(metrics.as_deref())?;
+    outcome
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
-    let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
-    let (graph, questions) = load_world(&world)?;
+    let metrics = flag(args, "--metrics");
+    if let Some(images) = flag(args, "--images") {
+        // In-process build: scene-graph generation and aggregation run
+        // here, so `--metrics` captures every pipeline stage including the
+        // offline ones (sgg, aggregate).
+        let images: usize = images.parse()?;
+        let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+        let (system, mvqa) = build_world(images, seed);
+        let outcome = svqa::evaluate_on_mvqa(&system, &mvqa);
+        println!("{:10} {:.1}%", "Judgment", outcome.judgment * 100.0);
+        println!("{:10} {:.1}%", "Counting", outcome.counting * 100.0);
+        println!("{:10} {:.1}%", "Reasoning", outcome.reasoning * 100.0);
+        println!("{:10} {:.1}%", "Overall", outcome.overall * 100.0);
+        println!(
+            "{} questions in {:.3}s ({} parse failures)",
+            mvqa.questions.len(),
+            outcome.total_latency.as_secs_f64(),
+            outcome.parse_failures
+        );
+    } else {
+        let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+        let (graph, questions) = load_world(&world)?;
+        eval_world(&graph, &questions);
+    }
+    write_metrics(metrics.as_deref())
+}
+
+/// Score a loaded world through the §V-B scheduler (shared cache +
+/// frequency-sorted order, so the schedule/match spans record).
+fn eval_world(graph: &svqa::graph::Graph, questions: &[QaPair]) {
+    use svqa::executor::scheduler::{QueryScheduler, SchedulerConfig};
+
     let generator = QueryGraphGenerator::new();
-    let executor = QueryGraphExecutor::new(&graph);
     let embedder = svqa::nlp::Embedder::new();
+    let mut parsed: Vec<(usize, svqa::qparser::QueryGraph)> = Vec::new();
+    for (i, q) in questions.iter().enumerate() {
+        if let Ok(gq) = generator.generate(&q.question) {
+            parsed.push((i, gq));
+        }
+    }
+    let graphs: Vec<_> = parsed.iter().map(|(_, g)| g.clone()).collect();
+    let report = QueryScheduler::new(SchedulerConfig::default()).run(graph, &graphs);
+    report.cache_stats.record_to(svqa::telemetry::global());
+    let mut predicted: Vec<Option<svqa::Answer>> = vec![None; questions.len()];
+    for ((i, _), answer) in parsed.iter().zip(report.answers) {
+        predicted[*i] = answer.ok();
+    }
+    let answered = predicted.iter().flatten().count() as u64;
+    let failed = questions.len() as u64 - answered;
+    let recorder = svqa::telemetry::global();
+    recorder.incr_counter_by(svqa::telemetry::counter::QUESTIONS_ANSWERED, answered);
+    recorder.incr_counter_by(svqa::telemetry::counter::QUESTIONS_FAILED, failed);
+
     let mut per_type: std::collections::HashMap<&str, (usize, usize)> = Default::default();
-    for q in &questions {
+    for (q, predicted) in questions.iter().zip(&predicted) {
         let entry = per_type.entry(q.qtype.name()).or_insert((0, 0));
         entry.1 += 1;
-        let predicted = generator
-            .generate(&q.question)
-            .ok()
-            .and_then(|gq| executor.execute(&gq).ok());
-        let correct = match (&q.answer, &predicted) {
+        let correct = match (&q.answer, predicted) {
             (svqa::dataset::GtAnswer::YesNo(g), Some(svqa::Answer::Judgment(p))) => g == p,
             (svqa::dataset::GtAnswer::Count(g), Some(svqa::Answer::Count(p))) => g == p,
             (svqa::dataset::GtAnswer::Entity(g), Some(svqa::Answer::Entity { label, .. })) => {
@@ -177,7 +250,6 @@ fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
         if correct {
             entry.0 += 1;
         }
-        let _ = PredictedAnswer::Count(0); // (type re-exported for library users)
     }
     let mut total = (0usize, 0usize);
     for (name, (c, n)) in &per_type {
@@ -192,13 +264,46 @@ fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
         total.1,
         100.0 * total.0 as f64 / total.1.max(1) as f64
     );
+    let cache = report.cache_stats;
+    println!(
+        "cache: scope {}/{} path {}/{} ({:.0}% hit overall)",
+        cache.scope_hits,
+        cache.scope_hits + cache.scope_misses,
+        cache.path_hits,
+        cache.path_hits + cache.path_misses,
+        cache.hit_rate() * 100.0
+    );
+}
+
+/// `stats` — build (or rebuild) a world in process and print the offline
+/// build statistics plus the telemetry snapshot accumulated doing it.
+fn cmd_stats(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(200), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+    let (system, mvqa) = build_world(images, seed);
+    let stats = system.build_stats();
+    println!("build: {}", stats.summary_line());
+    println!(
+        "questions generated: {} ({} images, seed {seed})",
+        mvqa.questions.len(),
+        images
+    );
+    println!("{}", svqa::telemetry::global().snapshot().to_json_pretty());
     Ok(())
 }
 
 fn cmd_repl(args: &[String]) -> Result<(), AnyError> {
     let images: usize = flag(args, "--images").map_or(Ok(500), |s| s.parse())?;
     let seed: u64 = flag(args, "--seed").map_or(Ok(7), |s| s.parse())?;
+    let verbose = args.iter().any(|a| a == "--verbose");
     let (system, _) = build_world(images, seed);
+    // A session-lived cache so repeat questions show up as hits in the
+    // per-question summaries.
+    let cache = parking_lot::Mutex::new(svqa::executor::KeyCentricCache::new(
+        svqa::executor::CacheGranularity::Both,
+        svqa::executor::EvictionPolicy::Lfu,
+        100,
+    ));
     println!("ready — type a question (empty line to quit)");
     let stdin = std::io::stdin();
     loop {
@@ -212,14 +317,23 @@ fn cmd_repl(args: &[String]) -> Result<(), AnyError> {
         if question.is_empty() {
             break;
         }
-        match system.answer_explained(question) {
-            Ok((answer, explanation)) => {
-                println!("answer: {answer}");
-                for fact in explanation.answer_support().iter().take(5) {
-                    println!("  {}", fact.display());
-                }
+        if verbose {
+            let (result, trace) = system.answer_traced(question, Some(&cache));
+            match result {
+                Ok(answer) => println!("answer: {answer}"),
+                Err(e) => println!("could not answer: {e}"),
             }
-            Err(e) => println!("could not answer: {e}"),
+            println!("  {}", trace.summary_line());
+        } else {
+            match system.answer_explained(question) {
+                Ok((answer, explanation)) => {
+                    println!("answer: {answer}");
+                    for fact in explanation.answer_support().iter().take(5) {
+                        println!("  {}", fact.display());
+                    }
+                }
+                Err(e) => println!("could not answer: {e}"),
+            }
         }
     }
     Ok(())

@@ -59,6 +59,7 @@ pub use svqa_executor as executor;
 pub use svqa_graph as graph;
 pub use svqa_nlp as nlp;
 pub use svqa_qparser as qparser;
+pub use svqa_telemetry as telemetry;
 pub use svqa_vision as vision;
 
 pub use svqa_executor::Answer;

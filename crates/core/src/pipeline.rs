@@ -8,9 +8,10 @@ use svqa_aggregator::DataAggregator;
 use svqa_executor::cache::KeyCentricCache;
 use svqa_executor::executor::QueryGraphExecutor;
 use svqa_executor::scheduler::{BatchReport, QueryScheduler};
-use svqa_executor::Answer;
+use svqa_executor::{Answer, CacheStats};
 use svqa_graph::Graph;
 use svqa_qparser::{QueryGraph, QueryGraphGenerator};
+use svqa_telemetry::{counter, global, stage, QueryOutcome, QueryTrace};
 use svqa_vision::prior::PairPrior;
 use svqa_vision::scene::SyntheticImage;
 use svqa_vision::sgg::SceneGraphGenerator;
@@ -32,6 +33,20 @@ pub struct BuildStats {
     pub merge_time: Duration,
 }
 
+impl BuildStats {
+    /// One-line human summary of the offline phase.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{} scene graphs in {:.1?}; merged {} vertices / {} edges in {:.1?}",
+            self.scene_graphs,
+            self.sgg_time,
+            self.merged_vertices,
+            self.merged_edges,
+            self.merge_time
+        )
+    }
+}
+
 /// Result of answering a batch of questions.
 #[derive(Debug)]
 pub struct BatchOutcome {
@@ -43,9 +58,10 @@ pub struct BatchOutcome {
     /// Wall-clock per question (original order; parse-failed questions
     /// carry their parse time).
     pub per_query: Vec<Duration>,
-    /// Cache statistics `(scope hits, scope misses, path hits, path
-    /// misses)`.
-    pub cache_stats: (u64, u64, u64, u64),
+    /// Cache hit/miss counters accumulated over the batch.
+    pub cache_stats: CacheStats,
+    /// Per-question telemetry traces (original order).
+    pub traces: Vec<QueryTrace>,
 }
 
 /// The assembled system: merged graph + query pipeline.
@@ -73,6 +89,7 @@ impl Svqa {
         let t0 = Instant::now();
         let scene_graphs: Vec<Graph> = images.iter().map(|i| sgg.generate(i).graph).collect();
         let sgg_time = t0.elapsed();
+        global().incr_counter_by(counter::SCENE_GRAPHS_BUILT, scene_graphs.len() as u64);
 
         let t1 = Instant::now();
         let aggregator = DataAggregator::new(config.aggregator.clone());
@@ -132,6 +149,7 @@ impl Svqa {
                 }
             }
         }
+        global().incr_counter_by(counter::SCENE_GRAPHS_BUILT, images.len() as u64);
         self.build_stats.scene_graphs += images.len();
         self.build_stats.merged_vertices = self.merged.vertex_count();
         self.build_stats.merged_edges = self.merged.edge_count();
@@ -145,9 +163,13 @@ impl Svqa {
         &self,
         question: &str,
     ) -> Result<(Answer, svqa_executor::Explanation), SvqaError> {
-        let gq = self.parse(question)?;
-        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
-        Ok(executor.execute_explained(&gq)?)
+        let result = (|| {
+            let gq = self.parse(question)?;
+            let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+            Ok(executor.execute_explained(&gq)?)
+        })();
+        count_outcome(&result);
+        result
     }
 
     /// The merged graph `G_mg`.
@@ -172,9 +194,13 @@ impl Svqa {
 
     /// Answer a single question end-to-end.
     pub fn answer(&self, question: &str) -> Result<Answer, SvqaError> {
-        let gq = self.parse(question)?;
-        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
-        Ok(executor.execute(&gq)?)
+        let result = (|| {
+            let gq = self.parse(question)?;
+            let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+            Ok(executor.execute(&gq)?)
+        })();
+        count_outcome(&result);
+        result
     }
 
     /// Answer a single question with a caller-provided shared cache.
@@ -183,9 +209,46 @@ impl Svqa {
         question: &str,
         cache: &Mutex<KeyCentricCache>,
     ) -> Result<Answer, SvqaError> {
-        let gq = self.parse(question)?;
-        let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
-        Ok(executor.execute_cached(&gq, Some(cache)).map(|(a, _)| a)?)
+        self.answer_traced(question, Some(cache)).0
+    }
+
+    /// Answer a single question and return its [`QueryTrace`]: per-stage
+    /// wall-clock times, exact cache traffic (when a cache is supplied),
+    /// and the terminal outcome. Powers `svqa-cli repl --verbose`.
+    pub fn answer_traced(
+        &self,
+        question: &str,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> (Result<Answer, SvqaError>, QueryTrace) {
+        let mut trace = QueryTrace::new(question);
+        let before = cache.map(|c| c.lock().stats()).unwrap_or_default();
+
+        let t0 = Instant::now();
+        let parsed = self.parse(question);
+        trace.record_stage(stage::PARSE, t0.elapsed());
+
+        let result = match parsed {
+            Ok(gq) => {
+                let executor =
+                    QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+                let t1 = Instant::now();
+                let executed = executor.execute_cached(&gq, cache).map(|(a, _)| a);
+                trace.record_stage(stage::MATCH, t1.elapsed());
+                if executed.is_err() {
+                    trace.outcome = QueryOutcome::ExecError;
+                }
+                executed.map_err(SvqaError::from)
+            }
+            Err(e) => {
+                trace.outcome = QueryOutcome::ParseError;
+                Err(e)
+            }
+        };
+        if let Some(c) = cache {
+            trace.cache = c.lock().stats().delta_since(&before);
+        }
+        count_outcome(&result);
+        (result, trace)
     }
 
     /// Answer a batch with the §V-B optimized scheduler (frequency-sorted
@@ -197,15 +260,19 @@ impl Svqa {
         let mut answers: Vec<Option<Result<Answer, SvqaError>>> =
             (0..questions.len()).map(|_| None).collect();
         let mut per_query = vec![Duration::ZERO; questions.len()];
+        let mut traces: Vec<QueryTrace> =
+            questions.iter().map(|q| QueryTrace::new(*q)).collect();
         for (i, q) in questions.iter().enumerate() {
             let t0 = Instant::now();
             match self.generator.generate(q) {
                 Ok(gq) => parsed.push((i, gq)),
                 Err(e) => {
+                    traces[i].outcome = QueryOutcome::ParseError;
                     answers[i] = Some(Err(e.into()));
                 }
             }
             per_query[i] = t0.elapsed();
+            traces[i].record_stage(stage::PARSE, per_query[i]);
         }
         // Execution phase via the scheduler.
         let graphs: Vec<QueryGraph> = parsed.iter().map(|(_, g)| g.clone()).collect();
@@ -215,18 +282,48 @@ impl Svqa {
             .iter()
             .zip(report.answers.into_iter().zip(report.per_query))
         {
+            if answer.is_err() {
+                traces[*orig].outcome = QueryOutcome::ExecError;
+            }
+            traces[*orig].record_stage(stage::MATCH, dt);
             answers[*orig] = Some(answer.map_err(SvqaError::from));
             per_query[*orig] += dt;
         }
+        report.cache_stats.record_to(global());
+        // The cache is shared across the batch, so per-question attribution
+        // is an even split (documented as approximate on `QueryTrace`).
+        let executed = parsed.len().max(1) as u64;
+        let share = CacheStats {
+            scope_hits: report.cache_stats.scope_hits / executed,
+            scope_misses: report.cache_stats.scope_misses / executed,
+            path_hits: report.cache_stats.path_hits / executed,
+            path_misses: report.cache_stats.path_misses / executed,
+        };
+        for (orig, _) in &parsed {
+            traces[*orig].cache = share;
+        }
+        let answers: Vec<Result<Answer, SvqaError>> = answers
+            .into_iter()
+            .map(|a| a.expect("all questions accounted for"))
+            .collect();
+        for a in &answers {
+            count_outcome(a);
+        }
         BatchOutcome {
-            answers: answers
-                .into_iter()
-                .map(|a| a.expect("all questions accounted for"))
-                .collect(),
+            answers,
             total: start.elapsed(),
             per_query,
             cache_stats: report.cache_stats,
+            traces,
         }
+    }
+}
+
+/// Bump the global answered/failed counters for a finished question.
+fn count_outcome<T>(result: &Result<T, SvqaError>) {
+    match result {
+        Ok(_) => global().incr_counter(counter::QUESTIONS_ANSWERED),
+        Err(_) => global().incr_counter(counter::QUESTIONS_FAILED),
     }
 }
 

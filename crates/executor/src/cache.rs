@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use svqa_graph::VertexId;
+pub use svqa_telemetry::CacheStats;
 
 /// Eviction policy for the bounded pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -228,14 +229,14 @@ impl KeyCentricCache {
         self.len() == 0
     }
 
-    /// `(scope hits, scope misses, path hits, path misses)`.
-    pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (
-            self.scope.hits,
-            self.scope.misses,
-            self.path.hits,
-            self.path.misses,
-        )
+    /// Hit/miss counters for both pools since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            scope_hits: self.scope.hits,
+            scope_misses: self.scope.misses,
+            path_hits: self.path.hits,
+            path_misses: self.path.misses,
+        }
     }
 
     /// Approximate heap bytes held by cached values (a scope item is a
@@ -291,8 +292,9 @@ mod tests {
         assert_eq!(c.scope_get("dog"), None); // miss
         c.scope_put("dog", Arc::new(vec![vid(1), vid(2)]));
         assert_eq!(c.scope_get("dog"), Some(Arc::new(vec![vid(1), vid(2)]))); // hit
-        let (h, m, _, _) = c.stats();
-        assert_eq!((h, m), (1, 1));
+        let stats = c.stats();
+        assert_eq!((stats.scope_hits, stats.scope_misses), (1, 1));
+        assert!((stats.scope_hit_rate() - 0.5).abs() < 1e-12);
         assert!(c.value_bytes() > 0);
     }
 

@@ -158,6 +158,7 @@ impl<'g> QueryGraphExecutor<'g> {
         gq: &QueryGraph,
         cache: Option<&Mutex<KeyCentricCache>>,
     ) -> Result<RunOutput, ExecError> {
+        let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::MATCH);
         if gq.is_empty() {
             return Err(ExecError::EmptyQueryGraph);
         }
@@ -608,9 +609,9 @@ mod tests {
             plain_answers.push(exec.execute(&gq).unwrap());
         }
         assert_eq!(cached_answers, plain_answers);
-        let (sh, _, ph, _) = cache.lock().stats();
-        assert!(sh > 0, "expected scope hits, stats={:?}", cache.lock().stats());
-        assert!(ph > 0, "expected path hits");
+        let stats = cache.lock().stats();
+        assert!(stats.scope_hits > 0, "expected scope hits, stats={stats:?}");
+        assert!(stats.path_hits > 0, "expected path hits");
     }
 
     #[test]

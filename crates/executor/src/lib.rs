@@ -31,7 +31,7 @@ pub mod scheduler;
 pub mod words;
 
 pub use answer::Answer;
-pub use cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+pub use cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache};
 pub use executor::{ExecError, ExecutorConfig, QueryGraphExecutor};
 pub use explain::{Explanation, SupportFact};
 pub use matching::VertexMatcher;

@@ -9,7 +9,7 @@
 //! ordered queue, sharing one key-centric cache behind a mutex.
 
 use crate::answer::Answer;
-use crate::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+use crate::cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache};
 use crate::executor::{ExecError, ExecutorConfig, QueryGraphExecutor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -58,8 +58,8 @@ pub struct BatchReport {
     pub per_query: Vec<Duration>,
     /// Wall-clock time of the whole batch.
     pub total: Duration,
-    /// `(scope hits, scope misses, path hits, path misses)`.
-    pub cache_stats: (u64, u64, u64, u64),
+    /// Cache hit/miss counters accumulated over the batch.
+    pub cache_stats: CacheStats,
     /// Execution order used (indices into the original batch).
     pub order: Vec<usize>,
 }
@@ -115,10 +115,13 @@ impl QueryScheduler {
 
     /// Execute a batch of query graphs over the merged graph.
     pub fn run(&self, graph: &Graph, queries: &[QueryGraph]) -> BatchReport {
-        let order = if self.config.frequency_sort {
-            Self::order(queries)
-        } else {
-            (0..queries.len()).collect()
+        let order = {
+            let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SCHEDULE);
+            if self.config.frequency_sort {
+                Self::order(queries)
+            } else {
+                (0..queries.len()).collect()
+            }
         };
         let cache = Mutex::new(KeyCentricCache::new(
             self.config.granularity,
@@ -274,7 +277,7 @@ mod tests {
         let report = QueryScheduler::new(SchedulerConfig::default()).run(&g, &qs);
         // Path hits short-circuit the whole query stage (scope lookups are
         // skipped entirely on a hit), so repeats register as path hits.
-        let (_, _, ph, _) = report.cache_stats;
+        let ph = report.cache_stats.path_hits;
         assert!(ph >= 2, "path hits = {ph}");
     }
 

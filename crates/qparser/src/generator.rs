@@ -86,8 +86,12 @@ impl QueryGraphGenerator {
     /// Algorithm 2: parse `question` into a query graph.
     pub fn generate(&self, question: &str) -> Result<QueryGraph, QueryParseError> {
         // --- Initial stage: POS + dependency tree. ---
-        let tagged = self.tagger.tag(question);
-        let tree = self.parser.parse(&tagged)?;
+        let tree = {
+            let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::PARSE);
+            let tagged = self.tagger.tag(question);
+            self.parser.parse(&tagged)?
+        };
+        let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::DECOMPOSE);
         let question_type = detect_question_type(&tree);
 
         // --- Parse stage: clause segmentation + SPOC state machine. ---
@@ -176,6 +180,7 @@ impl QueryGraphGenerator {
             }
         }
 
+        svqa_telemetry::global().incr_counter(svqa_telemetry::counter::QUESTIONS_PARSED);
         Ok(QueryGraph {
             vertices,
             edges,

@@ -1,0 +1,223 @@
+//! Log-bucketed latency histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `u64::MAX` nanoseconds.
+const BUCKETS: usize = 65;
+
+/// A latency histogram with power-of-two nanosecond buckets.
+///
+/// Bucket 0 holds exact zeros; bucket `i > 0` holds durations in
+/// `[2^(i-1), 2^i)` ns. Recording is O(1) and allocation-free; percentile
+/// queries walk the fixed bucket array. Bucket resolution (a factor of
+/// two) is the usual trade for unbounded range at constant memory — fine
+/// for dashboards and regression checks, not for microsecond-exact SLOs.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        match nanos.checked_ilog2() {
+            None => 0, // nanos == 0
+            Some(log) => log as usize + 1,
+        }
+    }
+
+    /// Upper edge (exclusive) of bucket `i`, saturating at `u64::MAX`.
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Record one observation in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as a representative value from
+    /// the containing bucket, clamped to the observed min/max. Returns 0
+    /// for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based), nearest-rank method.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Representative: bucket midpoint, clamped to what was
+                // actually observed so tiny samples stay honest.
+                let upper = Self::bucket_upper(i);
+                let lower = if i <= 1 { 0 } else { Self::bucket_upper(i - 1) };
+                let mid = lower + (upper - lower) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Freeze into a serializable summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum_ns: self.sum,
+            min_ns: if self.count == 0 { 0 } else { self.min },
+            max_ns: self.max,
+            mean_ns: self.sum.checked_div(self.count).unwrap_or(0),
+            p50_ns: self.quantile(0.50),
+            p95_ns: self.quantile(0.95),
+            p99_ns: self.quantile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (ns).
+    pub sum_ns: u64,
+    /// Smallest observation (ns).
+    pub min_ns: u64,
+    /// Largest observation (ns).
+    pub max_ns: u64,
+    /// Mean observation (ns).
+    pub mean_ns: u64,
+    /// Median (ns), bucket-resolution.
+    pub p50_ns: u64,
+    /// 95th percentile (ns), bucket-resolution.
+    pub p95_ns: u64,
+    /// 99th percentile (ns), bucket-resolution.
+    pub p99_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn single_observation_pins_all_percentiles() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.min_ns, 1000);
+        assert_eq!(snap.max_ns, 1000);
+        // Clamping to observed min/max makes one-sample quantiles exact.
+        assert_eq!(snap.p50_ns, 1000);
+        assert_eq!(snap.p99_ns, 1000);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bucket_accurate() {
+        let mut h = Histogram::new();
+        // 90 fast observations around 1µs, 10 slow around 1ms.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!(snap.p50_ns <= snap.p95_ns && snap.p95_ns <= snap.p99_ns);
+        // p50 lands in the 1µs bucket [512, 1024): within a factor of 2.
+        assert!((512..2048).contains(&snap.p50_ns), "p50 = {}", snap.p50_ns);
+        // p95 and p99 land in the 1ms bucket.
+        assert!(
+            (524_288..2_097_152).contains(&snap.p99_ns),
+            "p99 = {}",
+            snap.p99_ns
+        );
+    }
+
+    #[test]
+    fn zero_durations_are_representable() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.p50_ns, 0);
+        assert_eq!(snap.max_ns, 0);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 17);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+}

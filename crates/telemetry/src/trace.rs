@@ -1,0 +1,167 @@
+//! Per-question traces.
+
+use crate::CacheStats;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How a question's journey through the pipeline ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryOutcome {
+    /// Parsed, executed, and answered.
+    Answered,
+    /// Rejected by the question parser.
+    ParseError,
+    /// Parsed, but execution failed.
+    ExecError,
+}
+
+/// One named stage timing inside a [`QueryTrace`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (see [`crate::stage`]).
+    pub stage: String,
+    /// Wall-clock time spent, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// The telemetry story of a single question: which stages it passed
+/// through, how long each took, what the cache did for it, and how it
+/// ended. Collected per question by the pipeline and surfaced through
+/// `BatchOutcome` and `svqa-cli repl --verbose`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryTrace {
+    /// The question text.
+    pub question: String,
+    /// Stage timings in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Cache traffic attributed to this question (batch-level counters
+    /// may be apportioned, so treat as approximate under concurrency).
+    pub cache: CacheStats,
+    /// Terminal state.
+    pub outcome: QueryOutcome,
+}
+
+impl QueryTrace {
+    /// A trace for `question` with no recorded stages yet.
+    pub fn new(question: impl Into<String>) -> Self {
+        QueryTrace {
+            question: question.into(),
+            stages: Vec::new(),
+            cache: CacheStats::new(),
+            outcome: QueryOutcome::Answered,
+        }
+    }
+
+    /// Append a stage timing.
+    pub fn record_stage(&mut self, stage: &str, elapsed: Duration) {
+        self.stages.push(StageTiming {
+            stage: stage.to_owned(),
+            nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
+
+    /// Nanoseconds recorded for a stage, if present.
+    pub fn stage_nanos(&self, stage: &str) -> Option<u64> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.nanos)
+    }
+
+    /// Total time across all recorded stages.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.stages.iter().map(|s| s.nanos).sum())
+    }
+
+    /// One-line human summary, used by `svqa-cli repl --verbose`.
+    pub fn summary_line(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| format!("{} {}", s.stage, fmt_ns(s.nanos)))
+            .collect();
+        let cache = if self.cache.total_lookups() == 0 {
+            "cache cold".to_owned()
+        } else {
+            format!(
+                "cache {:.0}% hit ({}/{})",
+                self.cache.hit_rate() * 100.0,
+                self.cache.total_hits(),
+                self.cache.total_lookups()
+            )
+        };
+        format!(
+            "[{}] total {} ({}) {}",
+            match self.outcome {
+                QueryOutcome::Answered => "ok",
+                QueryOutcome::ParseError => "parse-error",
+                QueryOutcome::ExecError => "exec-error",
+            },
+            fmt_ns(u64::try_from(self.total().as_nanos()).unwrap_or(u64::MAX)),
+            stages.join(", "),
+            cache
+        )
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage;
+
+    #[test]
+    fn trace_accumulates_stages() {
+        let mut t = QueryTrace::new("How many dogs?");
+        t.record_stage(stage::PARSE, Duration::from_micros(120));
+        t.record_stage(stage::MATCH, Duration::from_micros(880));
+        assert_eq!(t.stage_nanos(stage::PARSE), Some(120_000));
+        assert_eq!(t.stage_nanos(stage::AGGREGATE), None);
+        assert_eq!(t.total(), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn summary_line_mentions_outcome_stages_and_cache() {
+        let mut t = QueryTrace::new("q");
+        t.record_stage(stage::PARSE, Duration::from_micros(5));
+        t.cache = CacheStats {
+            scope_hits: 3,
+            scope_misses: 1,
+            path_hits: 0,
+            path_misses: 0,
+        };
+        let line = t.summary_line();
+        assert!(line.contains("[ok]"), "{line}");
+        assert!(line.contains("parse"), "{line}");
+        assert!(line.contains("75% hit (3/4)"), "{line}");
+
+        t.outcome = QueryOutcome::ParseError;
+        t.cache = CacheStats::new();
+        let line = t.summary_line();
+        assert!(line.contains("[parse-error]"), "{line}");
+        assert!(line.contains("cache cold"), "{line}");
+    }
+
+    #[test]
+    fn trace_round_trips_json() {
+        let mut t = QueryTrace::new("q?");
+        t.record_stage(stage::SCHEDULE, Duration::from_nanos(7));
+        t.outcome = QueryOutcome::ExecError;
+        let json = serde_json::to_string(&t).unwrap();
+        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.question, "q?");
+        assert_eq!(back.stages, t.stages);
+        assert_eq!(back.outcome, QueryOutcome::ExecError);
+    }
+}

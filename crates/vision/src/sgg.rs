@@ -133,6 +133,7 @@ impl SceneGraphGenerator {
 
     /// Generate the scene graph of one image.
     pub fn generate(&self, image: &SyntheticImage) -> SceneGraphOutput {
+        let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SGG);
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ u64::from(image.id));
         let detections = self.detector.detect(image, &mut rng);
 

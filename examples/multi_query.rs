@@ -58,7 +58,7 @@ fn main() {
 
     let (t_plain, _) = run(CacheGranularity::None, false);
     let (t_cached, report) = run(CacheGranularity::Both, true);
-    let (sh, sm, ph, pm) = report.cache_stats;
+    let stats = report.cache_stats;
     println!("\nno cache, FIFO order:          {t_plain:?}");
     println!("key-centric cache + schedule:  {t_cached:?}");
     println!(
@@ -66,7 +66,12 @@ fn main() {
         (1.0 - t_cached.as_secs_f64() / t_plain.as_secs_f64()) * 100.0
     );
     println!(
-        "cache stats: scope {sh} hits / {sm} misses, path {ph} hits / {pm} misses"
+        "cache stats: scope {} hits / {} misses, path {} hits / {} misses ({:.0}% hit overall)",
+        stats.scope_hits,
+        stats.scope_misses,
+        stats.path_hits,
+        stats.path_misses,
+        stats.hit_rate() * 100.0
     );
 
     // Parallel execution ("we parallelize our algorithm").

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple measurement
+//! model: each benchmark runs a warm-up batch, then `sample_size` timed
+//! batches, and prints mean/min/max per iteration. There is no
+//! statistical analysis, HTML report, or saved baseline.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times each
+/// routine invocation individually, so the variants only influence batch
+/// counts in the real crate and are accepted here for compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Input too large to batch at all.
+    PerIteration,
+    /// Explicit number of iterations per batch.
+    NumBatches(u64),
+    /// Explicit number of batches.
+    NumIterations(u64),
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder style, matching the
+    /// real crate's `Criterion::default().sample_size(n)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark, timing `routine`'s `Bencher::iter*` loop.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Compatibility hook called by `criterion_main!`; the stand-in has
+    /// no end-of-run summary.
+    pub fn final_summary(&self) {}
+}
+
+/// Times the measured routine.
+pub struct Bencher {
+    /// Per-iteration durations, one per sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that gives a
+        // measurable (~5ms) batch, capped to keep total time bounded.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up invocation.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the braced form with a `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

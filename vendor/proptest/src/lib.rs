@@ -1,0 +1,182 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, integer and float range strategies, tuple
+//! strategies, a character-class regex subset for `&str` strategies,
+//! `collection::vec`, `sample::select`, `prop_oneof!`, and the
+//! `proptest!` test harness macro.
+//!
+//! Differences from the real crate, chosen for zero dependencies:
+//!
+//! * **No shrinking.** A failing case reports the sampled inputs via the
+//!   panic message (`prop_assert!` forwards to `assert!`), but is not
+//!   minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and function name, so runs are reproducible without
+//!   `proptest-regressions` persistence (existing regression files are
+//!   ignored).
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import used by every property test in this workspace.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a property holds; failure panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $pat:pat in $strat:expr ),+ $(,)? ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    let ( $($pat,)+ ) = (
+                        $( $crate::strategy::Strategy::sample(&$strat, &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges_respect_bounds");
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u8..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(0.25f64..0.5), &mut rng);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::deterministic("map_and_flat_map_compose");
+        let strat = (1usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u8..10, n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..50 {
+            let (n, v) = Strategy::sample(&strat, &mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn string_strategy_matches_class_and_counts() {
+        let mut rng = TestRng::deterministic("string_strategy");
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::sample(&"[A-Za-z',?. ]{0,20}", &mut rng);
+            assert!(t.len() <= 20);
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || "',?. ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn select_and_oneof_cover_all_arms() {
+        const ITEMS: [&str; 3] = ["a", "b", "c"];
+        let mut rng = TestRng::deterministic("select_and_oneof");
+        let sel = crate::sample::select(&ITEMS[..]);
+        let union = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen_sel = std::collections::HashSet::new();
+        let mut seen_union = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen_sel.insert(Strategy::sample(&sel, &mut rng));
+            seen_union.insert(Strategy::sample(&union, &mut rng));
+        }
+        assert_eq!(seen_sel.len(), 3);
+        assert_eq!(seen_union.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_macro_binds_patterns(
+            (a, b) in (0u32..10, 0u32..10),
+            s in "[a-z]{2,4}",
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!((2..=4).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn harness_macro_default_config(x in 0i32..100) {
+            prop_assert_ne!(x, 100);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

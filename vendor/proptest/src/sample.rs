@@ -1,0 +1,27 @@
+//! Sampling from explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform choice from a slice or vector of values.
+pub fn select<T: Clone, I: Into<Vec<T>>>(items: I) -> Select<T> {
+    let items = items.into();
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.0.gen_range(0..self.items.len());
+        self.items[idx].clone()
+    }
+}

@@ -1,0 +1,94 @@
+//! `&str` regex-subset strategies.
+//!
+//! The workspace's tests use patterns of the shape
+//! `[class]{n,m}` — optionally several atoms in sequence, where an atom
+//! is a character class or a literal character, and quantifiers are
+//! `{n}`, `{n,m}`, or absent (meaning exactly one). Character classes
+//! support literal characters and `a-z` ranges; every non-`]` character
+//! inside a class is literal (including `.`, `?`, `,`, `'`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                // `a-z` range (a `-` at the end of the class is literal).
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                    set.extend((lo..=hi).filter(char::is_ascii));
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+            i += 1; // ']'
+            set
+        } else {
+            let c = chars[i];
+            assert!(
+                !"(){}|*+?.^$".contains(c) || c == '.',
+                "unsupported regex construct {c:?} in pattern {pattern:?}"
+            );
+            i += 1;
+            vec![c]
+        };
+
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+        let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier min"),
+                    hi.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = rng.0.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                let idx = rng.0.gen_range(0..atom.choices.len());
+                out.push(atom.choices[idx]);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,42 @@
+//! Test-run configuration and the deterministic RNG behind sampling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the offline suite fast
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to [`Strategy::sample`](crate::strategy::Strategy::sample).
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    /// Deterministic RNG keyed by a test identifier (FNV-1a of the name),
+    /// so each test gets a stable but distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}

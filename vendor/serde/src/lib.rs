@@ -1,0 +1,69 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the serde surface it uses. Instead of the real crate's
+//! serializer/visitor architecture, this stand-in uses a concrete value
+//! model: [`Serialize`] lowers a type into a [`Value`] tree and
+//! [`Deserialize`] lifts it back. `serde_json` (also vendored) renders
+//! that tree to JSON text and parses it back. The `#[derive(Serialize,
+//! Deserialize)]` macros (from the vendored `serde_derive`) target these
+//! traits and honor the `#[serde(skip)]`, `#[serde(default)]` and
+//! `#[serde(transparent)]` attributes used in this workspace, with the
+//! real crate's externally-tagged enum representation.
+
+mod impls;
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// Serialization: lower `self` into the JSON-like [`Value`] model.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: lift a [`Value`] tree back into `Self`.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Mirror of `serde::de` for code that imports from there.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// In the real crate this distinguishes borrowed from owned
+    /// deserialization; the stand-in's [`Deserialize`] is always owned.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` for code that imports from there.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}

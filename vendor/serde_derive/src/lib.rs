@@ -1,0 +1,548 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-model `serde` crate, parsing the derive input with
+//! the bare `proc_macro` API (no `syn`/`quote` available offline). The
+//! supported input language is exactly what this workspace uses:
+//!
+//! * non-generic structs — named, tuple/newtype, unit;
+//! * non-generic enums — unit, newtype, tuple, and struct variants,
+//!   encoded externally tagged like the real serde;
+//! * container attribute `#[serde(transparent)]`;
+//! * field attributes `#[serde(skip)]` and `#[serde(default)]`.
+//!
+//! Unknown shapes (generics, lifetimes, unions) produce a compile error
+//! naming this file, so failures are loud rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume leading `#[...]` attributes; return the idents found inside
+    /// any `#[serde(...)]` among them.
+    fn take_attrs(&mut self) -> Vec<String> {
+        let mut flags = Vec::new();
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return flags;
+            }
+            self.next(); // '#'
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return flags;
+            };
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+            if !is_serde {
+                continue;
+            }
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                // Collect bare idents: `skip`, `default`, `transparent`.
+                // `name = "..."` forms contribute their leading ident too,
+                // which is fine — unsupported ones are rejected below.
+                for t in args.stream() {
+                    if let TokenTree::Ident(i) = t {
+                        flags.push(i.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume an optional `pub` / `pub(...)` visibility.
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume tokens of one type expression, stopping at a `,` that sits
+    /// outside every `<...>` pair (delimiter groups are single tokens, so
+    /// only angle brackets need counting).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn unsupported(msg: &str) -> TokenStream {
+    format!("compile_error!(\"vendored serde_derive: unsupported input: {msg}\");")
+        .parse()
+        .expect("literal compile_error")
+}
+
+fn parse_named_fields(group_stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(group_stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.take_attrs();
+        if c.at_end() {
+            break; // trailing attrs would be malformed; let rustc complain
+        }
+        c.skip_visibility();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            return Err("expected field name".to_owned());
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field `{name}`")),
+        }
+        c.skip_type();
+        c.next(); // consume ',' if present
+        fields.push(Field {
+            name: name.to_string(),
+            skip: attrs.iter().any(|a| a == "skip"),
+            default: attrs.iter().any(|a| a == "default"),
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group_stream: TokenStream) -> usize {
+    let mut c = Cursor::new(group_stream);
+    if c.at_end() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_trailing_comma = c.at_end();
+            }
+            _ => {}
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_input(stream: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(stream);
+    let attrs = c.take_attrs();
+    let transparent = attrs.iter().any(|a| a == "transparent");
+    c.skip_visibility();
+    let keyword = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let Some(TokenTree::Ident(name)) = c.next() else {
+        return Err("expected type name".to_owned());
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` (generics are not supported)"));
+    }
+    let name = name.to_string();
+
+    match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                transparent,
+                kind: Kind::Struct(Shape::Named(parse_named_fields(g.stream())?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                transparent,
+                kind: Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream()))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                transparent,
+                kind: Kind::Struct(Shape::Unit),
+            }),
+            other => Err(format!("unexpected struct body {other:?}")),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(body)) = c.next() else {
+                return Err("expected enum body".to_owned());
+            };
+            let mut vc = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.take_attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let Some(TokenTree::Ident(vname)) = vc.next() else {
+                    return Err("expected variant name".to_owned());
+                };
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        vc.next();
+                        Shape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        vc.next();
+                        Shape::Named(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an optional discriminant, then the separating comma.
+                while let Some(t) = vc.peek() {
+                    if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                        vc.next();
+                        break;
+                    }
+                    vc.next();
+                }
+                variants.push(Variant {
+                    name: vname.to_string(),
+                    shape,
+                });
+            }
+            Ok(Input {
+                name,
+                transparent,
+                kind: Kind::Enum(variants),
+            })
+        }
+        other => Err(format!("unsupported item kind `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if input.transparent {
+                let f = active
+                    .first()
+                    .expect("transparent struct needs one unskipped field");
+                format!("::serde::Serialize::to_value(&self.{})", f.name)
+            } else {
+                let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+                for f in &active {
+                    s.push_str(&format!(
+                        "__m.insert(\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0}));\n",
+                        f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__m)");
+                s
+            }
+        }
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_owned(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{\n\
+                         let mut __m = ::serde::Map::new();\n\
+                         __m.insert(\"{vname}\".to_string(), ::serde::Serialize::to_value(__f0));\n\
+                         ::serde::Value::Object(__m)\n}}\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in &active {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{0}\".to_string(), ::serde::Serialize::to_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vname}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression deserializing named `fields` out of object expr `{obj}` into
+/// a `{path} {{ ... }}` constructor.
+fn named_fields_ctor(path: &str, obj: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{fname}: match {obj}.get(\"{fname}\") {{\n\
+                 ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n"
+            ));
+        } else {
+            // Missing fields deserialize from null: `Option` fields become
+            // `None`, everything else reports the field by name.
+            inits.push_str(&format!(
+                "{fname}: ::serde::Deserialize::from_value(\
+                 {obj}.get(\"{fname}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|__e| ::serde::Error::custom(\
+                 format!(\"{path}.{fname}: {{}}\", __e)))?,\n"
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if input.transparent {
+                let f = active
+                    .first()
+                    .expect("transparent struct needs one unskipped field");
+                let skipped: String = fields
+                    .iter()
+                    .filter(|f| f.skip)
+                    .map(|f| format!("{}: ::std::default::Default::default(),\n", f.name))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok({name} {{\n\
+                     {}: ::serde::Deserialize::from_value(__v)?,\n{skipped}}})",
+                    f.name
+                )
+            } else {
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(format!(\"{name}: expected object, found {{}}\", __v.kind())))?;\n\
+                     ::std::result::Result::Ok({})",
+                    named_fields_ctor(name, "__obj", fields)
+                )
+            }
+        }
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: expected {n} elements, found {{}}\", __arr.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __arr = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vname}: wrong tuple arity\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        keyed_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({})\n}}\n",
+                            named_fields_ctor(&format!("{name}::{vname}"), "__obj", fields)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: unknown unit variant {{:?}}\", __other))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = __m.first().expect(\"len checked\");\n\
+                 match __k.as_str() {{\n{keyed_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: unknown variant {{:?}}\", __other))),\n}}\n}}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"{name}: expected variant string or single-key object, found {{}}\", \
+                 __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| unsupported(&format!("generated code did not parse: {e}"))),
+        Err(e) => unsupported(&e.replace('"', "'")),
+    }
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| unsupported(&format!("generated code did not parse: {e}"))),
+        Err(e) => unsupported(&e.replace('"', "'")),
+    }
+}

@@ -1,0 +1,168 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` crate's [`Value`] model to JSON text and
+//! parses JSON text back. The subset implemented is full JSON (RFC 8259)
+//! minus streaming: documents are materialized as [`Value`] trees.
+
+mod parse;
+mod write;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Error from JSON serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.message().to_owned())
+    }
+}
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lower any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Lift a [`Value`] tree into a concrete type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write::pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a type from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse::parse(s)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserialize a type from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] inline.
+///
+/// Supports `null`, arrays of `json!`-able elements, and objects with
+/// string-literal keys whose values are arbitrary serializable
+/// expressions. Nest objects by calling `json!` explicitly in value
+/// position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert($key.to_string(), $crate::to_value(&$val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let text = r#"{"a":[1,2,{"b":null}],"c":"x\"y"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({ "k": [1, 2], "s": "v" });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\""));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let v = to_value(&2.0f64);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "2.0");
+        let back: f64 = from_str(&text).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("line\nquote\"tab\tback\\u{1}".replace("u{1}", "\u{1}"));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn unicode_escape_parsing() {
+        let v: Value = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(to_string(&json!([1, 2])).unwrap(), "[1,2]");
+        let obj = json!({ "n": 1u32 });
+        assert_eq!(obj["n"].as_u64(), Some(1));
+    }
+}
