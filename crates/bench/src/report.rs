@@ -70,8 +70,9 @@ impl Table {
 /// Write a serializable report to `results/<name>.json` (best effort — the
 /// harness still prints everything). The payload is wrapped alongside a
 /// `telemetry` section holding the process-global metrics snapshot at save
-/// time, so every saved experiment carries its span histograms, counters,
-/// and cache hit rates.
+/// time — span histograms, counters, cache hit rates — and a `profiles`
+/// section with any `EXPLAIN ANALYZE` profiles recorded during the run, so
+/// a saved experiment carries its own plan-level evidence.
 pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let dir = Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
@@ -81,6 +82,7 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     let wrapped = serde_json::json!({
         "results": value,
         "telemetry": svqa_telemetry::global().snapshot(),
+        "profiles": svqa_telemetry::global_profiles().recent(),
     });
     if let Ok(json) = serde_json::to_string_pretty(&wrapped) {
         let _ = std::fs::write(path, json);

@@ -4,15 +4,27 @@
 //! ```text
 //! svqa-cli build --images 1000 --seed 7 --out world/     # offline phase
 //! svqa-cli ask   --world world/ "How many dogs are in the car?"
+//! svqa-cli ask   --world world/ --explain --trace-out t.json "…"
+//! svqa-cli explain --world world/ "How many dogs are in the car?"
 //! svqa-cli eval  --world world/                          # Table-III style report
 //! svqa-cli eval  --images 200 --metrics out.json         # in-process build + metrics dump
 //! svqa-cli repl  --images 500 --verbose                  # interactive loop with traces
 //! svqa-cli stats --images 200                            # build stats + telemetry summary
+//! svqa-cli serve-metrics --images 200 --port 9100        # live Prometheus endpoint
 //! ```
 //!
 //! `--metrics <file.json>` (on `ask` and `eval`) writes the process-global
 //! telemetry snapshot — per-stage latency histograms with p50/p95/p99,
 //! counters, and cache hit rates — as pretty-printed JSON.
+//!
+//! `explain` (or `ask --explain`) prints the `EXPLAIN ANALYZE` plan tree:
+//! per-quadruple candidate counts through each pruning step, cache
+//! hit/miss/bypass classification, edges scanned, and wall times.
+//! `--trace-out FILE` writes a Chrome trace-event file (open in
+//! `chrome://tracing` or <https://ui.perfetto.dev>); `--profile-out FILE`
+//! writes the machine-readable profile JSON. `serve-metrics` exposes the
+//! live registry at `/metrics` (Prometheus text format), `/metrics.json`,
+//! and the last profiles at `/profiles/recent`.
 //!
 //! The world directory holds the merged graph as a binary snapshot
 //! (`merged.svqg`, see `svqa_graph::binio`) plus the generated questions
@@ -22,10 +34,13 @@
 use std::io::{BufRead, Write as _};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 use svqa::dataset::mvqa::{Mvqa, MvqaConfig};
 use svqa::dataset::questions::{QaPair, QuestionCounts};
 use svqa::executor::executor::QueryGraphExecutor;
+use svqa::executor::ProfiledRun;
 use svqa::qparser::QueryGraphGenerator;
+use svqa::telemetry::ChromeTrace;
 use svqa::{Svqa, SvqaConfig};
 
 fn main() -> ExitCode {
@@ -33,12 +48,17 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
         Some("ask") => cmd_ask(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve-metrics") => cmd_serve_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: svqa-cli <build|ask|eval|repl|stats> [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] [--verbose] [question]"
+                "usage: svqa-cli <build|ask|explain|eval|repl|stats|serve-metrics> \
+                 [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] \
+                 [--explain] [--json] [--trace-out FILE] [--profile-out FILE] \
+                 [--port N] [--verbose] [question]"
             );
             return ExitCode::FAILURE;
         }
@@ -53,6 +73,19 @@ fn main() -> ExitCode {
 }
 
 type AnyError = Box<dyn std::error::Error>;
+
+/// Flags that consume the following argument as their value. Anything else
+/// starting with `--` is a boolean switch (`--explain`, `--verbose`, …).
+const VALUE_FLAGS: [&str; 8] = [
+    "--images",
+    "--seed",
+    "--out",
+    "--world",
+    "--metrics",
+    "--trace-out",
+    "--profile-out",
+    "--port",
+];
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -69,7 +102,7 @@ fn positional(args: &[String]) -> Option<String> {
             continue;
         }
         if a.starts_with("--") {
-            skip_next = true;
+            skip_next = VALUE_FLAGS.contains(&a.as_str());
             continue;
         }
         return Some(a.clone());
@@ -171,14 +204,97 @@ fn write_metrics(path: Option<&str>) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// Parse and execute one question with full plan profiling; the profile
+/// includes the parse stage and lands in the global profile ring.
+fn profile_question(graph: &svqa::graph::Graph, question: &str) -> Result<ProfiledRun, AnyError> {
+    let t0 = Instant::now();
+    let gq = QueryGraphGenerator::new().generate(question)?;
+    let parse_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let executor = QueryGraphExecutor::new(graph);
+    let mut run = executor.execute_profiled(&gq, None)?;
+    run.profile.prepend_stage(svqa::telemetry::stage::PARSE, parse_ns);
+    svqa::telemetry::global_profiles().push(run.profile.to_json_value());
+    svqa::telemetry::global().incr_counter(svqa::telemetry::counter::QUESTIONS_ANSWERED);
+    Ok(run)
+}
+
+/// Honour `--trace-out` / `--profile-out` for a profiled run.
+fn write_profile_outputs(args: &[String], run: &ProfiledRun) -> Result<(), AnyError> {
+    if let Some(path) = flag(args, "--trace-out") {
+        let trace = ChromeTrace::from_query_traces(&[run.profile.query_trace()]);
+        std::fs::write(&path, trace.to_json())?;
+        eprintln!("chrome trace written to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = flag(args, "--profile-out") {
+        std::fs::write(&path, run.profile.to_json_pretty())?;
+        eprintln!("profile written to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_ask(args: &[String]) -> Result<(), AnyError> {
     let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
     let metrics = flag(args, "--metrics");
+    let explain = args.iter().any(|a| a == "--explain");
+    let wants_profile =
+        explain || flag(args, "--trace-out").is_some() || flag(args, "--profile-out").is_some();
     let question = positional(args).ok_or("no question given")?;
     let (graph, _) = load_world(&world)?;
-    let outcome = answer_over(&graph, &question);
+    let outcome = if wants_profile {
+        match profile_question(&graph, &question) {
+            Ok(run) => {
+                println!("answer: {}", run.answer);
+                if explain {
+                    print!("{}", run.profile.render_tree());
+                }
+                write_profile_outputs(args, &run)?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        answer_over(&graph, &question)
+    };
     write_metrics(metrics.as_deref())?;
     outcome
+}
+
+/// `explain` — `EXPLAIN ANALYZE` for one question: print the plan tree
+/// (or the JSON profile with `--json`) without the evidence listing.
+fn cmd_explain(args: &[String]) -> Result<(), AnyError> {
+    let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+    let question = positional(args).ok_or("no question given")?;
+    let (graph, _) = load_world(&world)?;
+    let run = profile_question(&graph, &question)?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", run.profile.to_json_pretty());
+    } else {
+        print!("{}", run.profile.render_tree());
+    }
+    write_profile_outputs(args, &run)
+}
+
+/// `serve-metrics` — build a world in process, answer its generated
+/// questions once to populate the registry and the profile ring, then
+/// serve both over HTTP until killed.
+fn cmd_serve_metrics(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(200), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+    let port: u16 = flag(args, "--port").map_or(Ok(9100), |s| s.parse())?;
+    let (system, mvqa) = build_world(images, seed);
+    let warmup = if args.iter().any(|a| a == "--no-warmup") { 0 } else { 16 };
+    for q in mvqa.questions.iter().take(warmup) {
+        let _ = system.answer_profiled(&q.question, None);
+    }
+    let server = svqa::telemetry::MetricsServer::bind(
+        &format!("127.0.0.1:{port}"),
+        svqa::telemetry::global().clone(),
+        svqa::telemetry::global_profiles().clone(),
+    )?;
+    let addr = server.local_addr()?;
+    println!("serving metrics on http://{addr}/metrics (ctrl-c to stop)");
+    println!("  also: /metrics.json and /profiles/recent");
+    server.serve_forever()
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
@@ -200,6 +316,12 @@ fn cmd_eval(args: &[String]) -> Result<(), AnyError> {
             mvqa.questions.len(),
             outcome.total_latency.as_secs_f64(),
             outcome.parse_failures
+        );
+        println!(
+            "per-question latency: mean {:.1}µs, p50 {:.1}µs, p95 {:.1}µs",
+            outcome.mean_latency.as_secs_f64() * 1e6,
+            outcome.p50_latency.as_secs_f64() * 1e6,
+            outcome.p95_latency.as_secs_f64() * 1e6
         );
     } else {
         let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));

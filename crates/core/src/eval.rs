@@ -21,8 +21,25 @@ pub struct EvalOutcome {
     pub total_latency: Duration,
     /// Mean per-question latency.
     pub mean_latency: Duration,
+    /// Median per-question latency (from the batch's per-query times).
+    #[serde(default)]
+    pub p50_latency: Duration,
+    /// 95th-percentile per-question latency.
+    #[serde(default)]
+    pub p95_latency: Duration,
     /// Questions that failed to parse (Fig. 8a class errors).
     pub parse_failures: usize,
+}
+
+/// Nearest-rank percentile over unsorted per-query durations.
+fn percentile(samples: &[Duration], q: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 /// Convert an executor answer to the dataset's scoring form.
@@ -58,6 +75,8 @@ pub fn evaluate_on_mvqa(system: &Svqa, mvqa: &Mvqa) -> EvalOutcome {
         overall,
         total_latency: outcome.total,
         mean_latency: outcome.total / n as u32,
+        p50_latency: percentile(&outcome.per_query, 0.50),
+        p95_latency: percentile(&outcome.per_query, 0.95),
         parse_failures,
     }
 }
@@ -82,6 +101,17 @@ mod tests {
         );
         assert!(outcome.judgment > 0.7, "judgment: {outcome:?}");
         assert!(outcome.reasoning > 0.7, "reasoning: {outcome:?}");
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_from_the_samples() {
+        let samples: Vec<Duration> = [5, 1, 9, 3, 7].iter().map(|&ms| Duration::from_millis(ms)).collect();
+        let p50 = percentile(&samples, 0.50);
+        let p95 = percentile(&samples, 0.95);
+        assert_eq!(p50, Duration::from_millis(5));
+        assert_eq!(p95, Duration::from_millis(9));
+        assert!(p50 <= p95);
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
     }
 
     #[test]

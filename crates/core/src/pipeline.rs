@@ -251,6 +251,30 @@ impl Svqa {
         (result, trace)
     }
 
+    /// Answer a question and return the full `EXPLAIN ANALYZE` bundle:
+    /// answer, plan-level [`ExecutionProfile`](svqa_executor::ExecutionProfile)
+    /// (with the parse stage prepended), and answer provenance. The profile
+    /// is also pushed into the global telemetry profile ring, where
+    /// `svqa-cli serve-metrics` exposes it at `/profiles/recent`.
+    pub fn answer_profiled(
+        &self,
+        question: &str,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> Result<svqa_executor::ProfiledRun, SvqaError> {
+        let result = (|| {
+            let t0 = Instant::now();
+            let gq = self.parse(question)?;
+            let parse_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+            let mut run = executor.execute_profiled(&gq, cache)?;
+            run.profile.prepend_stage(stage::PARSE, parse_ns);
+            svqa_telemetry::global_profiles().push(run.profile.to_json_value());
+            Ok(run)
+        })();
+        count_outcome(&result);
+        result
+    }
+
     /// Answer a batch with the §V-B optimized scheduler (frequency-sorted
     /// order, shared key-centric cache, optional parallelism).
     pub fn answer_batch(&self, questions: &[&str]) -> BatchOutcome {
@@ -405,6 +429,28 @@ mod tests {
         } else {
             assert_eq!(explanation.fact_count(), 0);
         }
+    }
+
+    #[test]
+    fn profiled_answers_match_and_reach_the_profile_ring() {
+        let (system, _) = small_system();
+        let q = "Does the dog appear in the car?";
+        let plain = system.answer(q).unwrap();
+        let run = system.answer_profiled(q, None).unwrap();
+        assert_eq!(run.answer, plain);
+        assert_eq!(run.profile.question, q);
+        // parse + match stages, with per-quadruple children under match.
+        assert!(run.profile.stages.len() >= 2);
+        assert_eq!(run.profile.stages[0].stage, stage::PARSE);
+        assert!(!run.profile.quads.is_empty());
+        assert!(run.profile.render_tree().contains("EXPLAIN ANALYZE"));
+        // The global profile ring saw it (other tests may push too, so
+        // only require presence).
+        let ring = svqa_telemetry::global_profiles();
+        assert!(ring
+            .recent()
+            .iter()
+            .any(|p| p["question"].as_str() == Some(q)));
     }
 
     #[test]

@@ -15,12 +15,14 @@
 
 use crate::answer::Answer;
 use crate::cache::KeyCentricCache;
-use crate::matching::{RelationPair, VertexMatcher};
+use crate::matching::{MatchMethod, RelationPair, VertexMatcher};
 use crate::words::Constraint;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 use svqa_graph::{Graph, VertexId};
 use svqa_qparser::{AnswerRole, Dependency, NounPhrase, QueryGraph, QuestionType};
 
@@ -73,8 +75,73 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-/// Per-vertex execution trace (for examples and error analysis).
-#[derive(Debug, Clone, Default)]
+/// Where a SPOC slot's candidate scope came from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotSource {
+    /// The slot is empty (wildcard) — no scope was resolved.
+    #[default]
+    Wildcard,
+    /// A binding propagated from an upstream vertex (S2S/S2O/O2S/O2O).
+    Binding,
+    /// Served from the scope cache.
+    CacheHit,
+    /// Resolved by a fresh `matchVertex` call.
+    Matched,
+}
+
+impl fmt::Display for SlotSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SlotSource::Wildcard => "wildcard",
+            SlotSource::Binding => "binding",
+            SlotSource::CacheHit => "cache-hit",
+            SlotSource::Matched => "matched",
+        })
+    }
+}
+
+/// What the path cache did for a vertex's relation-pair lookup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Relation pairs served from the path cache (scope lookups skipped).
+    Hit,
+    /// Looked up, absent; computed and inserted.
+    Miss,
+    /// Not consulted: a binding makes the key non-reusable.
+    Bypassed,
+    /// No cache attached to this execution.
+    #[default]
+    NoCache,
+}
+
+impl fmt::Display for CacheOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypassed => "bypassed",
+            CacheOutcome::NoCache => "no-cache",
+        })
+    }
+}
+
+/// How one SPOC slot (subject or object) was resolved.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlotTrace {
+    /// Scope provenance.
+    pub source: SlotSource,
+    /// Which `matchVertex` ladder rung matched (only for `Matched`).
+    pub method: Option<MatchMethod>,
+    /// Candidates before semantic expansion (0 for cache hits, whose
+    /// pre-expansion seed is unknown).
+    pub seed: usize,
+    /// Candidates after semantic expansion — the working scope size.
+    pub expanded: usize,
+}
+
+/// Per-vertex execution trace (for examples, error analysis, and the
+/// `EXPLAIN ANALYZE` profile).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct VertexTrace {
     /// Subject-scope size after expansion.
     pub sub_count: usize,
@@ -86,6 +153,31 @@ pub struct VertexTrace {
     pub chosen_predicate: Option<String>,
     /// Relation pairs after filtering (`AP`).
     pub ap_count: usize,
+    /// Subject-slot resolution detail.
+    #[serde(default)]
+    pub sub: SlotTrace,
+    /// Object-slot resolution detail.
+    #[serde(default)]
+    pub obj: SlotTrace,
+    /// Path-cache classification for this vertex.
+    #[serde(default)]
+    pub path_cache: CacheOutcome,
+    /// Candidate edges examined while collecting relation pairs (0 on a
+    /// path-cache hit: nothing was scanned).
+    #[serde(default)]
+    pub edges_scanned: usize,
+    /// Pair count after the predicate filter, before any constraint.
+    #[serde(default)]
+    pub ap_after_predicate: usize,
+    /// The constraint applied, if the SPOC carried one.
+    #[serde(default)]
+    pub constraint: Option<String>,
+    /// Start offset of this vertex's work, ns from the start of `run`.
+    #[serde(default)]
+    pub start_ns: u64,
+    /// Wall-clock time spent on this vertex, ns.
+    #[serde(default)]
+    pub elapsed_ns: u64,
 }
 
 /// Internal result of one Algorithm-3 run: answer, per-vertex traces, and
@@ -140,6 +232,40 @@ impl<'g> QueryGraphExecutor<'g> {
         Ok((answer, crate::explain::Explanation::from_aps(self.graph, &aps)))
     }
 
+    /// Execute and return the full `EXPLAIN ANALYZE` bundle: the answer,
+    /// a per-quadruple [`ExecutionProfile`](crate::profile::ExecutionProfile)
+    /// (candidate counts, cache classification, timings), and the answer's
+    /// provenance. Cache counters in the profile are the *delta* this
+    /// query produced, so a shared batch cache attributes correctly.
+    pub fn execute_profiled(
+        &self,
+        gq: &QueryGraph,
+        cache: Option<&Mutex<KeyCentricCache>>,
+    ) -> Result<crate::profile::ProfiledRun, ExecError> {
+        let cache_before = cache.map(|c| c.lock().stats()).unwrap_or_default();
+        let t0 = Instant::now();
+        let (answer, traces, aps) = self.run(gq, cache)?;
+        let total_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let cache_delta = cache
+            .map(|c| c.lock().stats().delta_since(&cache_before))
+            .unwrap_or_default();
+        let order = gq.execution_order().expect("run() validated acyclicity");
+        let explanation = crate::explain::Explanation::from_aps(self.graph, &aps);
+        let profile = crate::profile::ExecutionProfile::assemble(
+            gq,
+            &answer,
+            order,
+            traces,
+            total_ns,
+            cache_delta,
+        );
+        Ok(crate::profile::ProfiledRun {
+            answer,
+            profile,
+            explanation,
+        })
+    }
+
     /// Execute with an optional shared key-centric cache; returns the
     /// answer and the per-vertex trace.
     pub fn execute_cached(
@@ -170,8 +296,12 @@ impl<'g> QueryGraphExecutor<'g> {
         let mut aps: Vec<Vec<RelationPair>> = vec![Vec::new(); n];
         let mut traces = vec![VertexTrace::default(); n];
 
+        let run_start = Instant::now();
         for &u in &order {
             let spoc = &gq.vertices[u];
+            let vertex_start = Instant::now();
+            traces[u].start_ns =
+                u64::try_from((vertex_start - run_start).as_nanos()).unwrap_or(u64::MAX);
             // --- Query stage ---
             // A path-cache hit short-circuits the whole stage: the cached
             // relation pairs subsume the scope lookups, so neither
@@ -184,23 +314,32 @@ impl<'g> QueryGraphExecutor<'g> {
             } else {
                 None
             };
+            traces[u].path_cache = match (cache, cacheable, cached_rp.is_some()) {
+                (None, _, _) => CacheOutcome::NoCache,
+                (Some(_), false, _) => CacheOutcome::Bypassed,
+                (Some(_), true, true) => CacheOutcome::Hit,
+                (Some(_), true, false) => CacheOutcome::Miss,
+            };
             let rp: Arc<Vec<RelationPair>> = match cached_rp {
                 Some(hit) => hit,
                 None => {
-                    let subs =
+                    let (subs, sub_trace) =
                         self.resolve_slot(&spoc.subject, sub_binding[u].as_deref(), cache);
-                    let objs =
+                    let (objs, obj_trace) =
                         self.resolve_slot(&spoc.object, obj_binding[u].as_deref(), cache);
+                    traces[u].sub = sub_trace;
+                    traces[u].obj = obj_trace;
                     let sub_slice = subs.as_ref().map(|v| v.as_slice());
                     let obj_slice = objs.as_ref().map(|v| v.as_slice());
                     traces[u].sub_count = sub_slice.map_or(0, <[VertexId]>::len);
                     traces[u].obj_count = obj_slice.map_or(0, <[VertexId]>::len);
-                    let rp = match (sub_slice, obj_slice) {
-                        (Some(s), Some(o)) => self.matcher.relations_between(s, o),
-                        (Some(s), None) => self.matcher.relations_around(s, true),
-                        (None, Some(o)) => self.matcher.relations_around(o, false),
-                        (None, None) => Vec::new(),
+                    let (rp, scanned) = match (sub_slice, obj_slice) {
+                        (Some(s), Some(o)) => self.matcher.relations_between_counted(s, o),
+                        (Some(s), None) => self.matcher.relations_around_counted(s, true),
+                        (None, Some(o)) => self.matcher.relations_around_counted(o, false),
+                        (None, None) => (Vec::new(), 0),
                     };
+                    traces[u].edges_scanned = scanned;
                     let rp = Arc::new(rp);
                     if cacheable {
                         if let Some(c) = cache {
@@ -214,6 +353,7 @@ impl<'g> QueryGraphExecutor<'g> {
 
             // maxScore(L(c_p), T) over the labels actually present in RP.
             let mut ap = self.filter_by_predicate(&spoc.predicate, rp.as_ref().clone(), &mut traces[u]);
+            traces[u].ap_after_predicate = ap.len();
 
             // Constraint (maxScore over 𝕊 + frequency aggregation).
             if let Some(cc) = &spoc.constraint {
@@ -221,6 +361,7 @@ impl<'g> QueryGraphExecutor<'g> {
                 let operand = Constraint::parse_operand(cc);
                 let side = self.constrained_side(gq, u);
                 ap = apply_constraint(self.graph, ap, constraint, side, operand);
+                traces[u].constraint = Some(cc.clone());
             }
             traces[u].ap_count = ap.len();
 
@@ -248,6 +389,8 @@ impl<'g> QueryGraphExecutor<'g> {
                 });
             }
             aps[u] = ap;
+            traces[u].elapsed_ns =
+                u64::try_from(vertex_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         }
 
         // --- getFinalanswer ---
@@ -280,30 +423,51 @@ impl<'g> QueryGraphExecutor<'g> {
 
     /// Resolve a SPOC slot to its vertex scope: a propagated binding
     /// (expanded), a cached scope, or a fresh `matchVertex` + expansion.
-    /// `None` = wildcard.
+    /// `None` = wildcard. The returned [`SlotTrace`] records which of
+    /// those paths ran and the candidate counts before/after expansion.
     fn resolve_slot(
         &self,
         np: &NounPhrase,
         binding: Option<&[VertexId]>,
         cache: Option<&Mutex<KeyCentricCache>>,
-    ) -> Option<Arc<Vec<VertexId>>> {
+    ) -> (Option<Arc<Vec<VertexId>>>, SlotTrace) {
         if let Some(bound) = binding {
-            return Some(Arc::new(self.matcher.expand_semantic(bound)));
+            let expanded = self.matcher.expand_semantic(bound);
+            let trace = SlotTrace {
+                source: SlotSource::Binding,
+                method: None,
+                seed: bound.len(),
+                expanded: expanded.len(),
+            };
+            return (Some(Arc::new(expanded)), trace);
         }
         if np.is_empty() {
-            return None;
+            return (None, SlotTrace::default());
         }
         if let Some(cache) = cache {
             if let Some(hit) = cache.lock().scope_get(&np.phrase) {
-                return Some(hit);
+                let trace = SlotTrace {
+                    source: SlotSource::CacheHit,
+                    method: None,
+                    seed: 0,
+                    expanded: hit.len(),
+                };
+                return (Some(hit), trace);
             }
         }
-        let matched = self.matcher.match_vertex(&np.phrase, &np.head);
+        let (matched, method) = self.matcher.match_vertex_traced(&np.phrase, &np.head);
+        let seed = matched.len();
         let expanded = Arc::new(self.matcher.expand_semantic(&matched));
         if let Some(cache) = cache {
             cache.lock().scope_put(&np.phrase, Arc::clone(&expanded));
         }
-        Some(expanded)
+        let trace = SlotTrace {
+            source: SlotSource::Matched,
+            method: Some(method),
+            seed,
+            expanded: expanded.len(),
+        };
+        (Some(expanded), trace)
     }
 
     /// The `maxScore`/`filter` pair of Algorithm 3 lines 8 and 10: find the

@@ -18,6 +18,9 @@
 //! * [`scheduler`] — optimized multi-query scheduling: frequency-ratio
 //!   scoring, descending execution order, shared cache, and parallel
 //!   execution on `std::thread` scoped threads;
+//! * [`profile`] — `EXPLAIN ANALYZE`: per-quadruple plan profiles
+//!   (candidate-set funnel, cache classification, edge scans, timings)
+//!   rendered as a text tree or JSON;
 //! * [`words`] — the predefined constraint word set `𝕊`.
 
 #![warn(missing_docs)]
@@ -27,13 +30,18 @@ pub mod cache;
 pub mod executor;
 pub mod explain;
 pub mod matching;
+pub mod profile;
 pub mod scheduler;
 pub mod words;
 
 pub use answer::Answer;
 pub use cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache};
-pub use executor::{ExecError, ExecutorConfig, QueryGraphExecutor};
+pub use executor::{
+    CacheOutcome, ExecError, ExecutorConfig, QueryGraphExecutor, SlotSource, SlotTrace,
+    VertexTrace,
+};
 pub use explain::{Explanation, SupportFact};
-pub use matching::VertexMatcher;
+pub use matching::{MatchMethod, VertexMatcher};
+pub use profile::{ExecutionProfile, ProfiledRun, QuadPlan, ScheduleInfo};
 pub use scheduler::{BatchReport, QueryScheduler, SchedulerConfig};
 pub use words::Constraint;

@@ -9,7 +9,9 @@
 //! "pets" reaches the scene-graph `dog` vertices through the knowledge
 //! graph — the cross-source reasoning step the paper's Example 1 builds on.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::fmt;
 use svqa_nlp::lev::levenshtein_similarity;
 use svqa_nlp::Embedder;
 use svqa_graph::{EdgeId, Graph, VertexId};
@@ -20,6 +22,39 @@ pub const SAME_AS: &str = "same as";
 
 /// The taxonomy edge label in the knowledge graph.
 pub const IS_A: &str = "is a";
+
+/// Which rung of the `matchVertex` ladder produced a match — recorded in
+/// execution profiles so `EXPLAIN ANALYZE` can say *how* a phrase reached
+/// the graph, not just how many vertices it hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchMethod {
+    /// Exact label match on the full phrase.
+    Exact,
+    /// Levenshtein similarity over distinct labels.
+    Levenshtein,
+    /// Exact match after falling back to the main noun.
+    HeadExact,
+    /// Levenshtein match on the main noun.
+    HeadLevenshtein,
+    /// Embedding cosine-similarity fallback.
+    Embedding,
+    /// Every rung failed: empty candidate set.
+    #[default]
+    NoMatch,
+}
+
+impl fmt::Display for MatchMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MatchMethod::Exact => "exact",
+            MatchMethod::Levenshtein => "levenshtein",
+            MatchMethod::HeadExact => "head-exact",
+            MatchMethod::HeadLevenshtein => "head-levenshtein",
+            MatchMethod::Embedding => "embedding",
+            MatchMethod::NoMatch => "no-match",
+        })
+    }
+}
 
 /// A relation pair `(Sub, e, Obj)` — one element of `RP`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,27 +100,33 @@ impl<'g> VertexMatcher<'g> {
     /// 3. main-noun retry for multi-word phrases;
     /// 4. embedding cosine fallback.
     pub fn match_vertex(&self, phrase: &str, head: &str) -> Vec<VertexId> {
+        self.match_vertex_traced(phrase, head).0
+    }
+
+    /// [`match_vertex`](Self::match_vertex) plus which ladder rung matched —
+    /// the profiling entry point.
+    pub fn match_vertex_traced(&self, phrase: &str, head: &str) -> (Vec<VertexId>, MatchMethod) {
         let exact = self.graph.vertices_with_label(phrase);
         if !exact.is_empty() {
-            return exact.to_vec();
+            return (exact.to_vec(), MatchMethod::Exact);
         }
         let by_lev = self.match_distinct_labels(|label| {
             levenshtein_similarity(label, phrase) >= self.lev_threshold
         });
         if !by_lev.is_empty() {
-            return by_lev;
+            return (by_lev, MatchMethod::Levenshtein);
         }
         // Non-simple noun: retry with the main noun (§V-A).
         if head != phrase && !head.is_empty() {
             let exact = self.graph.vertices_with_label(head);
             if !exact.is_empty() {
-                return exact.to_vec();
+                return (exact.to_vec(), MatchMethod::HeadExact);
             }
             let by_lev = self.match_distinct_labels(|label| {
                 levenshtein_similarity(label, head) >= self.lev_threshold
             });
             if !by_lev.is_empty() {
-                return by_lev;
+                return (by_lev, MatchMethod::HeadLevenshtein);
             }
         }
         // Embedding fallback on the head noun.
@@ -98,10 +139,16 @@ impl<'g> VertexMatcher<'g> {
             }
         }
         best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
-        best.iter()
+        let found: Vec<VertexId> = best
+            .iter()
             .flat_map(|(_, label)| self.graph.vertices_with_label(label))
             .copied()
-            .collect()
+            .collect();
+        if found.is_empty() {
+            (found, MatchMethod::NoMatch)
+        } else {
+            (found, MatchMethod::Embedding)
+        }
     }
 
     fn match_distinct_labels(&self, pred: impl Fn(&str) -> bool) -> Vec<VertexId> {
@@ -141,10 +188,22 @@ impl<'g> VertexMatcher<'g> {
     /// any object-side vertex (excluding structural `same as`/`is a` links),
     /// as relation pairs.
     pub fn relations_between(&self, subs: &[VertexId], objs: &[VertexId]) -> Vec<RelationPair> {
+        self.relations_between_counted(subs, objs).0
+    }
+
+    /// [`relations_between`](Self::relations_between) plus the number of
+    /// candidate edges examined (the profiling "edges scanned" figure).
+    pub fn relations_between_counted(
+        &self,
+        subs: &[VertexId],
+        objs: &[VertexId],
+    ) -> (Vec<RelationPair>, usize) {
         let obj_set: HashSet<VertexId> = objs.iter().copied().collect();
         let mut pairs = Vec::new();
+        let mut scanned = 0usize;
         for &s in subs {
             for (eid, e) in self.graph.out_edges(s) {
+                scanned += 1;
                 if e.label() == SAME_AS || e.label() == IS_A {
                     continue;
                 }
@@ -157,7 +216,7 @@ impl<'g> VertexMatcher<'g> {
                 }
             }
         }
-        pairs
+        (pairs, scanned)
     }
 
     /// Relation pairs when one side is a wildcard: every non-structural
@@ -167,10 +226,22 @@ impl<'g> VertexMatcher<'g> {
         anchors: &[VertexId],
         anchor_is_subject: bool,
     ) -> Vec<RelationPair> {
+        self.relations_around_counted(anchors, anchor_is_subject).0
+    }
+
+    /// [`relations_around`](Self::relations_around) plus the number of
+    /// incident edges examined.
+    pub fn relations_around_counted(
+        &self,
+        anchors: &[VertexId],
+        anchor_is_subject: bool,
+    ) -> (Vec<RelationPair>, usize) {
         let mut pairs = Vec::new();
+        let mut scanned = 0usize;
         for &a in anchors {
             if anchor_is_subject {
                 for (eid, e) in self.graph.out_edges(a) {
+                    scanned += 1;
                     if e.label() != SAME_AS && e.label() != IS_A {
                         pairs.push(RelationPair {
                             sub: a,
@@ -181,6 +252,7 @@ impl<'g> VertexMatcher<'g> {
                 }
             } else {
                 for (eid, e) in self.graph.in_edges(a) {
+                    scanned += 1;
                     if e.label() != SAME_AS && e.label() != IS_A {
                         pairs.push(RelationPair {
                             sub: e.src(),
@@ -191,7 +263,7 @@ impl<'g> VertexMatcher<'g> {
                 }
             }
         }
-        pairs
+        (pairs, scanned)
     }
 }
 
@@ -305,6 +377,47 @@ mod tests {
         let pairs = m.relations_around(&scene_dog, true);
         assert_eq!(pairs.len(), 1);
         assert_eq!(g.vertex_label(pairs[0].obj), Some("car"));
+    }
+
+    #[test]
+    fn traced_matching_reports_the_ladder_rung() {
+        let g = merged();
+        let m = VertexMatcher::new(&g);
+        assert_eq!(m.match_vertex_traced("dog", "dog").1, MatchMethod::Exact);
+        assert_eq!(
+            m.match_vertex_traced("kind of dog", "dog").1,
+            MatchMethod::HeadExact
+        );
+        assert_eq!(
+            m.match_vertex_traced("puppy", "puppy").1,
+            MatchMethod::Embedding
+        );
+        let (found, method) = m.match_vertex_traced("spaceship", "spaceship");
+        assert!(found.is_empty());
+        assert_eq!(method, MatchMethod::NoMatch);
+        // The traced and plain entry points agree.
+        assert_eq!(
+            m.match_vertex("pet", "pet"),
+            m.match_vertex_traced("pet", "pet").0
+        );
+    }
+
+    #[test]
+    fn counted_scans_cover_all_incident_edges() {
+        let g = merged();
+        let m = VertexMatcher::new(&g);
+        let dogs = m.expand_semantic(&m.match_vertex("pet", "pet"));
+        let cars = m.match_vertex("car", "car");
+        let (pairs, scanned) = m.relations_between_counted(&dogs, &cars);
+        assert_eq!(pairs, m.relations_between(&dogs, &cars));
+        // Structural (same as / is a) edges are scanned even though they
+        // never become pairs, so scanned strictly exceeds the pair count.
+        assert!(scanned > pairs.len(), "scanned={scanned}");
+
+        let scene_dog = vec![g.vertices_with_label("dog")[1]];
+        let (pairs, scanned) = m.relations_around_counted(&scene_dog, true);
+        assert_eq!(pairs.len(), 1);
+        assert!(scanned >= pairs.len());
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct BatchReport {
     pub cache_stats: CacheStats,
     /// Execution order used (indices into the original batch).
     pub order: Vec<usize>,
+    /// Frequency-ratio score per query, in the original order — the
+    /// scheduler's reuse rationale, regardless of whether frequency
+    /// ordering was actually applied.
+    pub scores: Vec<f64>,
 }
 
 /// The multi-query scheduler.
@@ -85,6 +89,13 @@ impl QueryScheduler {
     /// the batch; each query's score is the sum of its vertices' frequency
     /// ratios; descending score (stable on ties).
     pub fn order(queries: &[QueryGraph]) -> Vec<usize> {
+        Self::order_with_scores(queries).0
+    }
+
+    /// [`order`](Self::order) plus the per-query frequency-ratio scores in
+    /// the *original* submission order — the reuse rationale surfaced by
+    /// `EXPLAIN ANALYZE` and `BatchReport`.
+    pub fn order_with_scores(queries: &[QueryGraph]) -> (Vec<usize>, Vec<f64>) {
         let mut freq: HashMap<String, usize> = HashMap::new();
         let mut total = 0usize;
         for q in queries {
@@ -110,17 +121,18 @@ impl QueryScheduler {
                 .expect("scores are finite")
                 .then(a.cmp(&b))
         });
-        idx
+        (idx, scores)
     }
 
     /// Execute a batch of query graphs over the merged graph.
     pub fn run(&self, graph: &Graph, queries: &[QueryGraph]) -> BatchReport {
-        let order = {
+        let (order, scores) = {
             let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SCHEDULE);
+            let (sorted, scores) = Self::order_with_scores(queries);
             if self.config.frequency_sort {
-                Self::order(queries)
+                (sorted, scores)
             } else {
-                (0..queries.len()).collect()
+                ((0..queries.len()).collect(), scores)
             }
         };
         let cache = Mutex::new(KeyCentricCache::new(
@@ -186,6 +198,7 @@ impl QueryScheduler {
             total: start.elapsed(),
             cache_stats,
             order,
+            scores,
         }
     }
 }
@@ -293,6 +306,26 @@ mod tests {
         })
         .run(&graph(), &qs);
         assert_eq!(report.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn scores_explain_the_order() {
+        let qs = queries(&[
+            "Does the cat appear in the car?",
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let (order, scores) = QueryScheduler::order_with_scores(&qs);
+        assert_eq!(scores.len(), 3);
+        // Shared dog queries score higher than the unique cat query.
+        assert!(scores[1] > scores[0] && (scores[1] - scores[2]).abs() < 1e-12);
+        // The order is exactly descending score (stable on ties).
+        for w in order.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]], "order={order:?} scores={scores:?}");
+        }
+        // The report carries them through in original order.
+        let report = QueryScheduler::new(SchedulerConfig::default()).run(&graph(), &qs);
+        assert_eq!(report.scores, scores);
     }
 
     #[test]

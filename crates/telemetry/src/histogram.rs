@@ -113,12 +113,35 @@ impl Histogram {
             p50_ns: self.quantile(0.50),
             p95_ns: self.quantile(0.95),
             p99_ns: self.quantile(0.99),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| BucketCount {
+                    le_ns: Self::bucket_upper(i),
+                    count: c,
+                })
+                .collect(),
         }
     }
 }
 
-/// Serializable summary of a [`Histogram`].
+/// One occupied histogram bucket: observations `<= le_ns` fall in this or
+/// an earlier bucket. Counts are per-bucket (non-cumulative); the
+/// Prometheus exposition layer accumulates them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Upper edge of the bucket in nanoseconds (inclusive for exposition
+    /// purposes: the raw bucket is `[2^(i-1), 2^i)`, so every member is
+    /// `<= 2^i`).
+    pub le_ns: u64,
+    /// Observations landing in this bucket.
+    pub count: u64,
+}
+
+/// Serializable summary of a [`Histogram`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Number of observations.
     pub count: u64,
@@ -136,6 +159,10 @@ pub struct HistogramSnapshot {
     pub p95_ns: u64,
     /// 99th percentile (ns), bucket-resolution.
     pub p99_ns: u64,
+    /// Occupied buckets in ascending `le_ns` order (absent in snapshots
+    /// produced before this field existed).
+    #[serde(default)]
+    pub buckets: Vec<BucketCount>,
 }
 
 #[cfg(test)]
@@ -205,6 +232,26 @@ mod tests {
         assert_eq!(snap.count, 2);
         assert_eq!(snap.p50_ns, 0);
         assert_eq!(snap.max_ns, 0);
+    }
+
+    #[test]
+    fn snapshot_buckets_cover_all_observations() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(1_000_000);
+        let snap = h.snapshot();
+        let total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, snap.count);
+        // Ascending upper edges, and every edge bounds its bucket members.
+        let mut last = None;
+        for b in &snap.buckets {
+            assert!(last.is_none_or(|l| b.le_ns > l), "{:?}", snap.buckets);
+            last = Some(b.le_ns);
+        }
+        assert_eq!(snap.buckets[0], BucketCount { le_ns: 0, count: 1 });
+        assert_eq!(snap.buckets[1], BucketCount { le_ns: 4, count: 2 });
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Dependency-free metrics endpoint.
+//!
+//! A deliberately tiny HTTP/1.1 server on `std::net::TcpListener` — no
+//! async runtime, no framework — good enough for a Prometheus scraper or
+//! `curl` hitting localhost. Routes:
+//!
+//! * `GET /metrics` — the live [`Recorder`] snapshot in Prometheus text
+//!   exposition format;
+//! * `GET /metrics.json` — the same snapshot as JSON;
+//! * `GET /profiles/recent` — the [`ProfileRing`] contents as a JSON
+//!   array (newest last);
+//! * `GET /` — a plain-text index of the routes.
+//!
+//! Requests are served serially on the accept loop: a scrape is a few
+//! milliseconds of formatting, and serial handling keeps the server free
+//! of any thread-per-connection machinery.
+
+use crate::exposition::prometheus_text;
+use crate::recent::ProfileRing;
+use crate::recorder::Recorder;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// A bound (but not yet serving) metrics server.
+pub struct MetricsServer {
+    listener: TcpListener,
+    recorder: Recorder,
+    profiles: ProfileRing,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9100"`; port 0 picks a free port)
+    /// and serve snapshots of `recorder` and `profiles`.
+    pub fn bind(
+        addr: &str,
+        recorder: Recorder,
+        profiles: ProfileRing,
+    ) -> std::io::Result<MetricsServer> {
+        Ok(MetricsServer {
+            listener: TcpListener::bind(addr)?,
+            recorder,
+            profiles,
+        })
+    }
+
+    /// The actual bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and answer connections forever (serially). Per-connection
+    /// I/O errors are swallowed: a scraper hanging up mid-response must
+    /// not kill the endpoint.
+    pub fn serve_forever(&self) -> ! {
+        loop {
+            if let Ok((stream, _)) = self.listener.accept() {
+                let _ = self.handle(stream);
+            }
+        }
+    }
+
+    /// Run `serve_forever` on a background thread, returning the bound
+    /// address. The thread (and socket) live until process exit.
+    pub fn spawn(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::Builder::new()
+            .name("svqa-metrics".to_owned())
+            .spawn(move || self.serve_forever())?;
+        Ok(addr)
+    }
+
+    fn handle(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        // Drain headers so well-behaved clients see a clean close.
+        let mut header = String::new();
+        while reader.read_line(&mut header)? > 0 && header != "\r\n" && header != "\n" {
+            header.clear();
+        }
+
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("/");
+
+        let (status, content_type, body) = if method != "GET" {
+            (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "only GET is supported\n".to_owned(),
+            )
+        } else {
+            match path {
+                "/metrics" => (
+                    "200 OK",
+                    // The version parameter is part of the exposition
+                    // format contract; Prometheus keys parsing off it.
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    prometheus_text(&self.recorder.snapshot()),
+                ),
+                "/metrics.json" => (
+                    "200 OK",
+                    "application/json",
+                    self.recorder.snapshot().to_json_pretty(),
+                ),
+                "/profiles/recent" => ("200 OK", "application/json", self.profiles.to_json()),
+                "/" => (
+                    "200 OK",
+                    "text/plain; charset=utf-8",
+                    "svqa metrics endpoint\n\n\
+                     /metrics          Prometheus text exposition\n\
+                     /metrics.json     metrics snapshot as JSON\n\
+                     /profiles/recent  recent query profiles (JSON array)\n"
+                        .to_owned(),
+                ),
+                _ => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    format!("no route for {path}\n"),
+                ),
+            }
+        };
+
+        write!(
+            stream,
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+    use std::io::Read;
+    use std::time::Duration;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        (head.to_owned(), body.to_owned())
+    }
+
+    fn serve_sample() -> SocketAddr {
+        let recorder = Recorder::new();
+        recorder.incr_counter_by("questions_answered", 3);
+        recorder.record_span("parse", Duration::from_micros(50));
+        let profiles = ProfileRing::new(4);
+        profiles.push(json!({"question": "How many dogs?"}));
+        MetricsServer::bind("127.0.0.1:0", recorder, profiles)
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let addr = serve_sample();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("svqa_questions_answered_total 3"), "{body}");
+        assert!(body.contains("svqa_span_duration_seconds_count"), "{body}");
+    }
+
+    #[test]
+    fn json_and_profile_routes_serve_json() {
+        let addr = serve_sample();
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.contains("application/json"), "{head}");
+        let snap: crate::MetricsSnapshot = serde_json::from_str(&body).unwrap();
+        assert_eq!(snap.counters["questions_answered"], 3);
+
+        let (_, body) = get(addr, "/profiles/recent");
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        match v {
+            serde_json::Value::Array(a) => {
+                assert_eq!(a.len(), 1);
+                assert_eq!(a[0]["question"], json!("How many dogs?"));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_server_survives() {
+        let addr = serve_sample();
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        // The serial accept loop must keep answering after an error path.
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+}

@@ -32,15 +32,23 @@
 //! let _ = global(); // the process-wide recorder used by `Span::enter`
 //! ```
 
+mod exposition;
 mod histogram;
+mod http;
+mod recent;
 mod recorder;
 mod span;
 mod trace;
+mod trace_event;
 
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use exposition::prometheus_text;
+pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
+pub use http::MetricsServer;
+pub use recent::{global_profiles, ProfileRing};
 pub use recorder::{global, MetricsSnapshot, Recorder};
 pub use span::Span;
 pub use trace::{QueryOutcome, QueryTrace, StageTiming};
+pub use trace_event::{ChromeTrace, TraceEvent};
 
 use serde::{Deserialize, Serialize};
 
@@ -131,6 +139,16 @@ impl CacheStats {
         rate(self.total_hits(), self.total_lookups())
     }
 
+    /// Accumulate `other`'s counters into `self` — the batch-runner's way
+    /// to sum per-query stats without field-by-field code at every call
+    /// site.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.scope_hits += other.scope_hits;
+        self.scope_misses += other.scope_misses;
+        self.path_hits += other.path_hits;
+        self.path_misses += other.path_misses;
+    }
+
     /// Counters accumulated after `earlier` was captured (saturating, so
     /// a reset cache yields zeros rather than wrapping).
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
@@ -217,6 +235,43 @@ mod tests {
         assert_eq!(earlier + delta, later);
         // Saturating: a cache reset between snapshots yields zeros.
         assert_eq!(earlier.delta_since(&later), CacheStats::new());
+    }
+
+    #[test]
+    fn cache_stats_merge_sums_fields_and_matches_add() {
+        let mut acc = CacheStats {
+            scope_hits: 1,
+            scope_misses: 2,
+            path_hits: 3,
+            path_misses: 4,
+        };
+        let other = CacheStats {
+            scope_hits: 10,
+            scope_misses: 20,
+            path_hits: 30,
+            path_misses: 40,
+        };
+        let by_add = acc + other;
+        acc.merge(&other);
+        assert_eq!(acc, by_add);
+        assert_eq!(acc.total_lookups(), 110);
+        // Merging zeros is a no-op.
+        let before = acc;
+        acc.merge(&CacheStats::new());
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn cache_stats_rates_are_zero_not_nan_without_lookups() {
+        let empty = CacheStats::new();
+        for r in [
+            empty.scope_hit_rate(),
+            empty.path_hit_rate(),
+            empty.hit_rate(),
+        ] {
+            assert_eq!(r, 0.0, "zero-lookup rate must be 0.0, not NaN");
+            assert!(!r.is_nan());
+        }
     }
 
     #[test]

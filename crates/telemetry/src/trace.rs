@@ -16,12 +16,46 @@ pub enum QueryOutcome {
 }
 
 /// One named stage timing inside a [`QueryTrace`].
+///
+/// A timing may carry nested `children` — sub-steps that ran inside the
+/// stage (e.g. the per-quadruple spans inside `match`). `start_ns` is the
+/// offset from the *parent's* start (from the trace start for top-level
+/// stages), which is what lets the Chrome-trace exporter place every node
+/// on a real timeline.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageTiming {
     /// Stage name (see [`crate::stage`]).
     pub stage: String,
     /// Wall-clock time spent, in nanoseconds.
     pub nanos: u64,
+    /// Offset from the parent's start (ns); 0 for the first stage.
+    #[serde(default)]
+    pub start_ns: u64,
+    /// Nested sub-steps, each with `start_ns` relative to this stage.
+    #[serde(default)]
+    pub children: Vec<StageTiming>,
+}
+
+impl StageTiming {
+    /// A leaf timing.
+    pub fn leaf(stage: impl Into<String>, start_ns: u64, nanos: u64) -> StageTiming {
+        StageTiming {
+            stage: stage.into(),
+            nanos,
+            start_ns,
+            children: Vec::new(),
+        }
+    }
+
+    /// Append a nested child (its `start_ns` is relative to `self`).
+    pub fn push_child(&mut self, child: StageTiming) {
+        self.children.push(child);
+    }
+
+    /// Total number of nodes in this subtree (self + descendants).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(StageTiming::node_count).sum::<usize>()
+    }
 }
 
 /// The telemetry story of a single question: which stages it passed
@@ -52,12 +86,20 @@ impl QueryTrace {
         }
     }
 
-    /// Append a stage timing.
+    /// Append a stage timing. Stages are assumed sequential, so the new
+    /// stage's `start_ns` is the sum of the previously recorded ones.
     pub fn record_stage(&mut self, stage: &str, elapsed: Duration) {
-        self.stages.push(StageTiming {
-            stage: stage.to_owned(),
-            nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
-        });
+        let start_ns = self.stages.iter().map(|s| s.nanos).sum();
+        self.stages.push(StageTiming::leaf(
+            stage,
+            start_ns,
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        ));
+    }
+
+    /// Append a fully-formed stage timing (offsets and children intact).
+    pub fn record_stage_tree(&mut self, timing: StageTiming) {
+        self.stages.push(timing);
     }
 
     /// Nanoseconds recorded for a stage, if present.
@@ -151,6 +193,32 @@ mod tests {
         let line = t.summary_line();
         assert!(line.contains("[parse-error]"), "{line}");
         assert!(line.contains("cache cold"), "{line}");
+    }
+
+    #[test]
+    fn sequential_stages_get_cumulative_start_offsets() {
+        let mut t = QueryTrace::new("q");
+        t.record_stage(stage::PARSE, Duration::from_nanos(100));
+        t.record_stage(stage::MATCH, Duration::from_nanos(50));
+        assert_eq!(t.stages[0].start_ns, 0);
+        assert_eq!(t.stages[1].start_ns, 100);
+    }
+
+    #[test]
+    fn nested_children_round_trip_and_count() {
+        let mut outer = StageTiming::leaf(stage::MATCH, 0, 1_000);
+        let mut quad = StageTiming::leaf("v0", 10, 400);
+        quad.push_child(StageTiming::leaf("scope", 0, 100));
+        outer.push_child(quad);
+        outer.push_child(StageTiming::leaf("v1", 500, 300));
+        assert_eq!(outer.node_count(), 4);
+
+        let mut t = QueryTrace::new("q");
+        t.record_stage_tree(outer.clone());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: QueryTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.stages[0], outer);
+        assert_eq!(back.stages[0].children[0].children[0].stage, "scope");
     }
 
     #[test]
