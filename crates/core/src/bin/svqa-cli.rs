@@ -52,13 +52,15 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("serve-metrics") => cmd_serve_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: svqa-cli <build|ask|explain|eval|repl|stats|serve-metrics> \
+                "usage: svqa-cli <build|ask|explain|eval|repl|stats|serve|serve-metrics> \
                  [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] \
                  [--explain] [--json] [--trace-out FILE] [--profile-out FILE] \
-                 [--port N] [--verbose] [question]"
+                 [--port N] [--workers N] [--queue-depth N] [--deadline-ms N] \
+                 [--cache-pool N] [--cache-shards N] [--verbose] [question]"
             );
             return ExitCode::FAILURE;
         }
@@ -76,7 +78,7 @@ type AnyError = Box<dyn std::error::Error>;
 
 /// Flags that consume the following argument as their value. Anything else
 /// starting with `--` is a boolean switch (`--explain`, `--verbose`, …).
-const VALUE_FLAGS: [&str; 8] = [
+const VALUE_FLAGS: [&str; 13] = [
     "--images",
     "--seed",
     "--out",
@@ -85,6 +87,11 @@ const VALUE_FLAGS: [&str; 8] = [
     "--trace-out",
     "--profile-out",
     "--port",
+    "--workers",
+    "--queue-depth",
+    "--deadline-ms",
+    "--cache-pool",
+    "--cache-shards",
 ];
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -274,6 +281,50 @@ fn cmd_explain(args: &[String]) -> Result<(), AnyError> {
     write_profile_outputs(args, &run)
 }
 
+/// `serve` — build a world in process and run the query service on it:
+/// `POST /ask` and `/batch` behind a worker pool with admission control
+/// and per-request deadlines, plus `/healthz`, `/shutdown`, and the
+/// metrics routes, all on one port. Returns after a graceful drain.
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(200), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+    let port: u16 = flag(args, "--port").map_or(Ok(7878), |s| s.parse())?;
+
+    let mut serve_config = svqa::ServeConfig::default();
+    if let Some(w) = flag(args, "--workers") {
+        serve_config.workers = w.parse()?;
+    }
+    if let Some(d) = flag(args, "--queue-depth") {
+        serve_config.queue_depth = d.parse()?;
+    }
+    if let Some(ms) = flag(args, "--deadline-ms") {
+        serve_config.default_deadline = std::time::Duration::from_millis(ms.parse()?);
+    }
+    let mut config = SvqaConfig::default();
+    if let Some(p) = flag(args, "--cache-pool") {
+        config.scheduler.pool_size = p.parse()?;
+    }
+    if let Some(s) = flag(args, "--cache-shards") {
+        config.scheduler.shards = s.parse()?;
+    }
+
+    eprintln!("generating {images} images (seed {seed})...");
+    let mvqa = Mvqa::generate(MvqaConfig {
+        image_count: images,
+        seed,
+        counts: QuestionCounts::default(),
+    });
+    eprintln!("building the merged graph...");
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, config);
+    let server = svqa::QueryServer::bind(system, &format!("127.0.0.1:{port}"), serve_config)?;
+    let addr = server.local_addr()?;
+    println!("serving on http://{addr}");
+    println!("  POST /ask, /batch, /shutdown; GET /healthz, /metrics");
+    server.serve()?;
+    println!("drained, exiting");
+    Ok(())
+}
+
 /// `serve-metrics` — build a world in process, answer its generated
 /// questions once to populate the registry and the profile ring, then
 /// serve both over HTTP until killed.
@@ -421,11 +472,12 @@ fn cmd_repl(args: &[String]) -> Result<(), AnyError> {
     let (system, _) = build_world(images, seed);
     // A session-lived cache so repeat questions show up as hits in the
     // per-question summaries.
-    let cache = parking_lot::Mutex::new(svqa::executor::KeyCentricCache::new(
+    let cache = svqa::executor::ShardedCache::new(
         svqa::executor::CacheGranularity::Both,
         svqa::executor::EvictionPolicy::Lfu,
         100,
-    ));
+        4,
+    );
     println!("ready — type a question (empty line to quit)");
     let stdin = std::io::stdin();
     loop {

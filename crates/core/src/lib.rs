@@ -44,11 +44,13 @@ pub mod config;
 pub mod error;
 pub mod eval;
 pub mod pipeline;
+pub mod serve;
 
 pub use config::SvqaConfig;
 pub use error::SvqaError;
 pub use eval::{evaluate_on_mvqa, EvalOutcome};
 pub use pipeline::{BatchOutcome, BuildStats, Svqa};
+pub use serve::{QueryServer, ServeConfig};
 
 // Re-export the subsystem crates so downstream users need a single
 // dependency.

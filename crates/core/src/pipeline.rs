@@ -2,10 +2,9 @@
 
 use crate::config::SvqaConfig;
 use crate::error::SvqaError;
-use parking_lot::Mutex;
 use std::time::{Duration, Instant};
 use svqa_aggregator::DataAggregator;
-use svqa_executor::cache::KeyCentricCache;
+use svqa_executor::cache::ShardedCache;
 use svqa_executor::executor::QueryGraphExecutor;
 use svqa_executor::scheduler::{BatchReport, QueryScheduler};
 use svqa_executor::{Answer, CacheStats};
@@ -121,7 +120,7 @@ impl Svqa {
     /// of new link edges created.
     ///
     /// Note: callers running batches through the §V-B scheduler should
-    /// start a fresh [`svqa_executor::cache::KeyCentricCache`] afterwards —
+    /// start a fresh [`svqa_executor::cache::ShardedCache`] afterwards —
     /// cached scopes and paths predate the new evidence.
     pub fn add_images(&mut self, images: &[SyntheticImage]) -> usize {
         let link_label = self.config.aggregator.link_label.clone();
@@ -207,7 +206,7 @@ impl Svqa {
     pub fn answer_cached(
         &self,
         question: &str,
-        cache: &Mutex<KeyCentricCache>,
+        cache: &ShardedCache,
     ) -> Result<Answer, SvqaError> {
         self.answer_traced(question, Some(cache)).0
     }
@@ -218,10 +217,10 @@ impl Svqa {
     pub fn answer_traced(
         &self,
         question: &str,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> (Result<Answer, SvqaError>, QueryTrace) {
         let mut trace = QueryTrace::new(question);
-        let before = cache.map(|c| c.lock().stats()).unwrap_or_default();
+        let before = cache.map(ShardedCache::stats).unwrap_or_default();
 
         let t0 = Instant::now();
         let parsed = self.parse(question);
@@ -245,7 +244,7 @@ impl Svqa {
             }
         };
         if let Some(c) = cache {
-            trace.cache = c.lock().stats().delta_since(&before);
+            trace.cache = c.stats().delta_since(&before);
         }
         count_outcome(&result);
         (result, trace)
@@ -259,7 +258,7 @@ impl Svqa {
     pub fn answer_profiled(
         &self,
         question: &str,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> Result<svqa_executor::ProfiledRun, SvqaError> {
         let result = (|| {
             let t0 = Instant::now();
@@ -276,8 +275,20 @@ impl Svqa {
     }
 
     /// Answer a batch with the §V-B optimized scheduler (frequency-sorted
-    /// order, shared key-centric cache, optional parallelism).
+    /// order, shared key-centric cache, optional parallelism). Each call
+    /// starts from a cold cache; long-lived callers (the query server)
+    /// should hold a [`ShardedCache`] and use
+    /// [`answer_batch_cached`](Self::answer_batch_cached) so hits carry
+    /// over between batches.
     pub fn answer_batch(&self, questions: &[&str]) -> BatchOutcome {
+        let cache = QueryScheduler::new(self.config.scheduler).build_cache();
+        self.answer_batch_cached(questions, &cache)
+    }
+
+    /// [`answer_batch`](Self::answer_batch) against a caller-provided
+    /// persistent cache: scopes and paths cached by earlier requests
+    /// (single questions or whole batches) accelerate this one.
+    pub fn answer_batch_cached(&self, questions: &[&str], cache: &ShardedCache) -> BatchOutcome {
         let start = Instant::now();
         // Parse phase (per-question failures recorded, not fatal).
         let mut parsed: Vec<(usize, QueryGraph)> = Vec::with_capacity(questions.len());
@@ -301,7 +312,7 @@ impl Svqa {
         // Execution phase via the scheduler.
         let graphs: Vec<QueryGraph> = parsed.iter().map(|(_, g)| g.clone()).collect();
         let scheduler = QueryScheduler::new(self.config.scheduler);
-        let report: BatchReport = scheduler.run(&self.merged, &graphs);
+        let report: BatchReport = scheduler.run_with_cache(&self.merged, &graphs, cache);
         for ((orig, _), (answer, dt)) in parsed
             .iter()
             .zip(report.answers.into_iter().zip(report.per_query))

@@ -14,8 +14,10 @@
 //! eviction.
 
 use crate::matching::RelationPair;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use svqa_graph::VertexId;
 pub use svqa_telemetry::CacheStats;
@@ -150,19 +152,27 @@ impl KeyCentricCache {
         self.scope.get(key, tick).cloned()
     }
 
-    /// Store a scope item.
+    /// Store a scope item. Overwriting an existing key updates the value
+    /// in place — preserving its LFU frequency history and evicting
+    /// nothing, since the pool does not grow.
     pub fn scope_put(&mut self, key: &str, value: Arc<Vec<VertexId>>) {
         if !self.scope_enabled() || self.pool_size == 0 {
             return;
         }
-        self.make_room();
         self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.scope.map.get_mut(key) {
+            e.value = value;
+            e.last_used = tick;
+            return;
+        }
+        self.make_room();
         self.scope.map.insert(
             key.to_owned(),
             Entry {
                 value,
                 freq: 1,
-                last_used: self.tick,
+                last_used: tick,
             },
         );
     }
@@ -177,19 +187,26 @@ impl KeyCentricCache {
         self.path.get(key, tick).cloned()
     }
 
-    /// Store a path item.
+    /// Store a path item. Overwrites update in place (frequency preserved,
+    /// no eviction), exactly like [`scope_put`](Self::scope_put).
     pub fn path_put(&mut self, key: &str, value: Arc<Vec<RelationPair>>) {
         if !self.path_enabled() || self.pool_size == 0 {
             return;
         }
-        self.make_room();
         self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.path.map.get_mut(key) {
+            e.value = value;
+            e.last_used = tick;
+            return;
+        }
+        self.make_room();
         self.path.map.insert(
             key.to_owned(),
             Entry {
                 value,
                 freq: 1,
-                last_used: self.tick,
+                last_used: tick,
             },
         );
     }
@@ -266,6 +283,141 @@ impl KeyCentricCache {
     /// The configured policy.
     pub fn policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// The LFU frequency of a scope entry, without touching it (does not
+    /// count as a use and does not bump hit/miss counters). `None` when the
+    /// key is absent. Exposed so tests and cache introspection can verify
+    /// eviction history survives overwrites.
+    pub fn scope_frequency(&self, key: &str) -> Option<u64> {
+        self.scope.map.get(key).map(|e| e.freq)
+    }
+
+    /// The LFU frequency of a path entry, without touching it.
+    pub fn path_frequency(&self, key: &str) -> Option<u64> {
+        self.path.map.get(key).map(|e| e.freq)
+    }
+}
+
+/// A key-hashed, shard-per-lock view of the key-centric cache.
+///
+/// The paper's single pool (§V-B) is kept per shard: keys are hashed to one
+/// of `N` shards, each holding its own [`KeyCentricCache`] behind its own
+/// mutex, with the total item budget split across shards. Callers see the
+/// same scope/path API as the single pool but with `&self` methods, so one
+/// long-lived `ShardedCache` can back the query service and parallel
+/// scheduler workers without serializing every lookup on a single lock.
+///
+/// Stats are the merge of per-shard counters
+/// ([`CacheStats::merge`]); eviction stays shard-local, which approximates
+/// the paper's global LFU/LRU minimum (documented in DESIGN.md).
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<KeyCentricCache>>,
+}
+
+impl ShardedCache {
+    /// Build a sharded cache: `pool_size` items total, split as evenly as
+    /// possible across `shards` key-hashed shards (the first
+    /// `pool_size % shards` shards take the remainder). The shard count is
+    /// clamped to `max(1, min(shards, pool_size))` so no shard gets a zero
+    /// budget while the total budget is non-zero.
+    pub fn new(
+        granularity: CacheGranularity,
+        policy: EvictionPolicy,
+        pool_size: usize,
+        shards: usize,
+    ) -> Self {
+        let n = shards.min(pool_size).max(1);
+        let base = pool_size / n;
+        let remainder = pool_size % n;
+        ShardedCache {
+            shards: (0..n)
+                .map(|i| {
+                    let budget = base + usize::from(i < remainder);
+                    Mutex::new(KeyCentricCache::new(granularity, policy, budget))
+                })
+                .collect(),
+        }
+    }
+
+    /// A single-shard cache — the exact semantics of the paper's one pool,
+    /// behind the shared-handle API.
+    pub fn single(granularity: CacheGranularity, policy: EvictionPolicy, pool_size: usize) -> Self {
+        Self::new(granularity, policy, pool_size, 1)
+    }
+
+    /// A disabled cache (granularity `None`, zero budget).
+    pub fn disabled() -> Self {
+        Self::new(CacheGranularity::None, EvictionPolicy::Lfu, 0, 1)
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<KeyCentricCache> {
+        // SipHash with the default (fixed) keys: deterministic across runs,
+        // well-mixed across shards.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up a scope item in the key's shard.
+    pub fn scope_get(&self, key: &str) -> Option<Arc<Vec<VertexId>>> {
+        self.shard(key).lock().scope_get(key)
+    }
+
+    /// Store a scope item in the key's shard.
+    pub fn scope_put(&self, key: &str, value: Arc<Vec<VertexId>>) {
+        self.shard(key).lock().scope_put(key, value);
+    }
+
+    /// Look up a path item in the key's shard.
+    pub fn path_get(&self, key: &str) -> Option<Arc<Vec<RelationPair>>> {
+        self.shard(key).lock().path_get(key)
+    }
+
+    /// Store a path item in the key's shard.
+    pub fn path_put(&self, key: &str, value: Arc<Vec<RelationPair>>) {
+        self.shard(key).lock().path_put(key, value);
+    }
+
+    /// Hit/miss counters merged across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for shard in &self.shards {
+            total.merge(&shard.lock().stats());
+        }
+        total
+    }
+
+    /// Items currently held across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate heap bytes held by cached values, across all shards.
+    pub fn value_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().value_bytes()).sum()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The LFU frequency of a scope entry (non-touching; see
+    /// [`KeyCentricCache::scope_frequency`]).
+    pub fn scope_frequency(&self, key: &str) -> Option<u64> {
+        self.shard(key).lock().scope_frequency(key)
+    }
+
+    /// The LFU frequency of a path entry (non-touching).
+    pub fn path_frequency(&self, key: &str) -> Option<u64> {
+        self.shard(key).lock().path_frequency(key)
     }
 }
 
@@ -361,5 +513,77 @@ mod tests {
         c.scope_put("a", Arc::new(vec![vid(2)]));
         assert_eq!(c.len(), 1);
         assert_eq!(c.scope_get("a"), Some(Arc::new(vec![vid(2)])));
+    }
+
+    /// Regression: overwriting a key in a *full* cache used to call
+    /// `make_room()` and evict an unrelated entry even though the pool was
+    /// not growing.
+    #[test]
+    fn overwrite_in_full_cache_evicts_nothing() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 2);
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        c.path_put("p", Arc::new(vec![]));
+        assert_eq!(c.len(), 2); // full
+        c.scope_put("a", Arc::new(vec![vid(9)]));
+        assert_eq!(c.len(), 2);
+        assert!(c.scope_frequency("a").is_some());
+        assert!(c.path_frequency("p").is_some(), "unrelated entry evicted");
+        assert_eq!(c.scope_get("a"), Some(Arc::new(vec![vid(9)])));
+    }
+
+    /// Regression: overwriting used to reset `freq` to 1, destroying the
+    /// LFU history that decides the next eviction.
+    #[test]
+    fn overwrite_preserves_lfu_history() {
+        let mut c = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 2);
+        c.scope_put("hot", Arc::new(vec![vid(1)]));
+        c.scope_get("hot");
+        c.scope_get("hot"); // freq 3
+        c.scope_put("cold", Arc::new(vec![vid(2)])); // freq 1
+        c.scope_put("hot", Arc::new(vec![vid(3)])); // overwrite, freq stays 3
+        assert_eq!(c.scope_frequency("hot"), Some(3));
+        c.scope_put("new", Arc::new(vec![vid(4)]));
+        // LFU must evict "cold" (freq 1), not "hot".
+        assert!(c.scope_frequency("hot").is_some());
+        assert!(c.scope_frequency("cold").is_none());
+    }
+
+    #[test]
+    fn sharded_cache_roundtrip_and_merged_stats() {
+        let c = ShardedCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 64, 4);
+        assert_eq!(c.shard_count(), 4);
+        assert_eq!(c.scope_get("dog"), None); // miss
+        c.scope_put("dog", Arc::new(vec![vid(1)]));
+        c.path_put("dog|car", Arc::new(vec![]));
+        assert_eq!(c.scope_get("dog"), Some(Arc::new(vec![vid(1)])));
+        assert!(c.path_get("dog|car").is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.value_bytes() > 0);
+        let stats = c.stats();
+        assert_eq!((stats.scope_hits, stats.scope_misses), (1, 1));
+        assert_eq!((stats.path_hits, stats.path_misses), (1, 0));
+    }
+
+    #[test]
+    fn sharded_cache_budget_split_covers_pool_size() {
+        // 10 items over 4 shards: budgets 3,3,2,2 — total exactly 10.
+        let c = ShardedCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 10, 4);
+        for i in 0..100 {
+            c.scope_put(&format!("k{i}"), Arc::new(vec![vid(i)]));
+        }
+        assert!(c.len() <= 10, "len {} exceeds total budget", c.len());
+        // Shard count clamps so no shard gets a zero budget.
+        let tiny = ShardedCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, 2, 8);
+        assert_eq!(tiny.shard_count(), 2);
+        tiny.scope_put("a", Arc::new(vec![vid(1)]));
+        assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn sharded_disabled_accepts_nothing() {
+        let c = ShardedCache::disabled();
+        c.scope_put("a", Arc::new(vec![vid(1)]));
+        assert!(c.is_empty());
+        assert_eq!(c.scope_get("a"), None);
     }
 }

@@ -14,10 +14,9 @@
 //!   count of scene instances, or ranked entity labels).
 
 use crate::answer::Answer;
-use crate::cache::KeyCentricCache;
+use crate::cache::ShardedCache;
 use crate::matching::{MatchMethod, RelationPair, VertexMatcher};
 use crate::words::Constraint;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::collections::HashMap;
@@ -240,14 +239,14 @@ impl<'g> QueryGraphExecutor<'g> {
     pub fn execute_profiled(
         &self,
         gq: &QueryGraph,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> Result<crate::profile::ProfiledRun, ExecError> {
-        let cache_before = cache.map(|c| c.lock().stats()).unwrap_or_default();
+        let cache_before = cache.map(ShardedCache::stats).unwrap_or_default();
         let t0 = Instant::now();
         let (answer, traces, aps) = self.run(gq, cache)?;
         let total_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let cache_delta = cache
-            .map(|c| c.lock().stats().delta_since(&cache_before))
+            .map(|c| c.stats().delta_since(&cache_before))
             .unwrap_or_default();
         let order = gq.execution_order().expect("run() validated acyclicity");
         let explanation = crate::explain::Explanation::from_aps(self.graph, &aps);
@@ -266,12 +265,13 @@ impl<'g> QueryGraphExecutor<'g> {
         })
     }
 
-    /// Execute with an optional shared key-centric cache; returns the
-    /// answer and the per-vertex trace.
+    /// Execute with an optional shared key-centric cache (sharded, so
+    /// parallel callers do not serialize on one lock); returns the answer
+    /// and the per-vertex trace.
     pub fn execute_cached(
         &self,
         gq: &QueryGraph,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> Result<(Answer, Vec<VertexTrace>), ExecError> {
         let (answer, traces, _aps) = self.run(gq, cache)?;
         Ok((answer, traces))
@@ -282,7 +282,7 @@ impl<'g> QueryGraphExecutor<'g> {
     fn run(
         &self,
         gq: &QueryGraph,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> Result<RunOutput, ExecError> {
         let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::MATCH);
         if gq.is_empty() {
@@ -310,7 +310,7 @@ impl<'g> QueryGraphExecutor<'g> {
             let cacheable = sub_binding[u].is_none() && obj_binding[u].is_none();
             let path_key = format!("{}|{}", spoc.subject.phrase, spoc.object.phrase);
             let cached_rp = if cacheable {
-                cache.and_then(|c| c.lock().path_get(&path_key))
+                cache.and_then(|c| c.path_get(&path_key))
             } else {
                 None
             };
@@ -343,7 +343,7 @@ impl<'g> QueryGraphExecutor<'g> {
                     let rp = Arc::new(rp);
                     if cacheable {
                         if let Some(c) = cache {
-                            c.lock().path_put(&path_key, Arc::clone(&rp));
+                            c.path_put(&path_key, Arc::clone(&rp));
                         }
                     }
                     rp
@@ -429,7 +429,7 @@ impl<'g> QueryGraphExecutor<'g> {
         &self,
         np: &NounPhrase,
         binding: Option<&[VertexId]>,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> (Option<Arc<Vec<VertexId>>>, SlotTrace) {
         if let Some(bound) = binding {
             let expanded = self.matcher.expand_semantic(bound);
@@ -445,7 +445,7 @@ impl<'g> QueryGraphExecutor<'g> {
             return (None, SlotTrace::default());
         }
         if let Some(cache) = cache {
-            if let Some(hit) = cache.lock().scope_get(&np.phrase) {
+            if let Some(hit) = cache.scope_get(&np.phrase) {
                 let trace = SlotTrace {
                     source: SlotSource::CacheHit,
                     method: None,
@@ -459,7 +459,7 @@ impl<'g> QueryGraphExecutor<'g> {
         let seed = matched.len();
         let expanded = Arc::new(self.matcher.expand_semantic(&matched));
         if let Some(cache) = cache {
-            cache.lock().scope_put(&np.phrase, Arc::clone(&expanded));
+            cache.scope_put(&np.phrase, Arc::clone(&expanded));
         }
         let trace = SlotTrace {
             source: SlotSource::Matched,
@@ -492,7 +492,9 @@ impl<'g> QueryGraphExecutor<'g> {
         }
         let (&best_label, &best_sim) = label_sims
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            // NaN-safe and deterministic: ties on similarity break to the
+            // lexicographically smallest label, not HashMap iteration order.
+            .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(a.0)))
             .expect("rp non-empty");
         trace.chosen_predicate = Some(best_label.to_owned());
         let cutoff = (best_sim - self.config.filter_slack)
@@ -757,11 +759,7 @@ mod tests {
             "What kind of clothes are worn by the wizard?",
             "Does the wizard appear near Harry Potter's girlfriend?",
         ];
-        let cache = Mutex::new(KeyCentricCache::new(
-            CacheGranularity::Both,
-            EvictionPolicy::Lfu,
-            100,
-        ));
+        let cache = ShardedCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 100, 4);
         let mut cached_answers = Vec::new();
         for q in &questions {
             let gq = gen.generate(q).unwrap();
@@ -773,7 +771,7 @@ mod tests {
             plain_answers.push(exec.execute(&gq).unwrap());
         }
         assert_eq!(cached_answers, plain_answers);
-        let stats = cache.lock().stats();
+        let stats = cache.stats();
         assert!(stats.scope_hits > 0, "expected scope hits, stats={stats:?}");
         assert!(stats.path_hits > 0, "expected path hits");
     }

@@ -35,7 +35,7 @@ pub mod scheduler;
 pub mod words;
 
 pub use answer::Answer;
-pub use cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache};
+pub use cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache, ShardedCache};
 pub use executor::{
     CacheOutcome, ExecError, ExecutorConfig, QueryGraphExecutor, SlotSource, SlotTrace,
     VertexTrace,

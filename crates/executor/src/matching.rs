@@ -138,7 +138,11 @@ impl<'g> VertexMatcher<'g> {
                 best.push((sim, label));
             }
         }
-        best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        // `total_cmp` never panics (a NaN similarity is an ordinary — if
+        // worthless — value, not a crash), and the label tie-break makes
+        // equal-similarity candidates independent of `HashMap` iteration
+        // order, so embedding-fallback results are deterministic.
+        best.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(b.1)));
         let found: Vec<VertexId> = best
             .iter()
             .flat_map(|(_, label)| self.graph.vertices_with_label(label))
@@ -313,6 +317,43 @@ mod tests {
         assert!(found
             .iter()
             .all(|&v| g.vertex_label(v) == Some("dog")));
+    }
+
+    /// Regression for the NaN-unsafe, tie-unstable embedding sort: two
+    /// distinct labels that embed identically ("Puppy" vs "puppy" — the
+    /// embedder lowercases) tie exactly on similarity, and the order used
+    /// to leak `HashMap` iteration order, which varies per `Graph`
+    /// instance. With `total_cmp` + label tie-break the candidate order is
+    /// identical across rebuilds.
+    #[test]
+    fn embedding_fallback_is_deterministic_on_ties() {
+        let build = || {
+            let mut g = Graph::default();
+            // Force the embedding rung: nothing matches "hound" exactly or
+            // within the Levenshtein threshold, but both labels live in the
+            // "dog" concept cluster.
+            for label in ["Puppy", "puppy", "canine", "kitten"] {
+                g.add_vertex(label);
+            }
+            g
+        };
+        let mut orders: Vec<Vec<String>> = Vec::new();
+        for _ in 0..8 {
+            let g = build();
+            let m = VertexMatcher::new(&g);
+            let (found, method) = m.match_vertex_traced("hound", "hound");
+            assert_eq!(method, MatchMethod::Embedding);
+            assert!(found.len() >= 2, "both puppy spellings should match");
+            orders.push(
+                found
+                    .iter()
+                    .map(|&v| g.vertex_label(v).unwrap().to_owned())
+                    .collect(),
+            );
+        }
+        for order in &orders[1..] {
+            assert_eq!(order, &orders[0], "candidate order must not vary");
+        }
     }
 
     #[test]

@@ -278,9 +278,8 @@ fn fmt_ns(ns: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+    use crate::cache::{CacheGranularity, EvictionPolicy, ShardedCache};
     use crate::executor::QueryGraphExecutor;
-    use parking_lot::Mutex;
     use svqa_graph::{Graph, GraphBuilder};
     use svqa_qparser::QueryGraphGenerator;
 
@@ -300,7 +299,7 @@ mod tests {
     fn profiled(
         g: &Graph,
         question: &str,
-        cache: Option<&Mutex<KeyCentricCache>>,
+        cache: Option<&ShardedCache>,
     ) -> ProfiledRun {
         let gq = QueryGraphGenerator::new().generate(question).unwrap();
         QueryGraphExecutor::new(g)
@@ -333,11 +332,7 @@ mod tests {
     #[test]
     fn cache_outcomes_flip_from_miss_to_hit() {
         let g = graph();
-        let cache = Mutex::new(KeyCentricCache::new(
-            CacheGranularity::Both,
-            EvictionPolicy::Lfu,
-            100,
-        ));
+        let cache = ShardedCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 100, 4);
         let cold = profiled(&g, "Does the dog appear in the car?", Some(&cache));
         assert_eq!(cold.profile.quads[0].trace.path_cache, CacheOutcome::Miss);
         assert!(cold.profile.cache.path_misses > 0);
@@ -352,11 +347,7 @@ mod tests {
     #[test]
     fn render_tree_shows_counts_cache_and_timing() {
         let g = graph();
-        let cache = Mutex::new(KeyCentricCache::new(
-            CacheGranularity::Both,
-            EvictionPolicy::Lfu,
-            100,
-        ));
+        let cache = ShardedCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 100, 4);
         let run = profiled(&g, "Does the dog appear in the car?", Some(&cache));
         let text = run.profile.render_tree();
         assert!(text.contains("EXPLAIN ANALYZE"), "{text}");

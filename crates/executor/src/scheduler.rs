@@ -9,7 +9,7 @@
 //! ordered queue, sharing one key-centric cache behind a mutex.
 
 use crate::answer::Answer;
-use crate::cache::{CacheGranularity, CacheStats, EvictionPolicy, KeyCentricCache};
+use crate::cache::{CacheGranularity, CacheStats, EvictionPolicy, ShardedCache};
 use crate::executor::{ExecError, ExecutorConfig, QueryGraphExecutor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -27,6 +27,10 @@ pub struct SchedulerConfig {
     pub policy: EvictionPolicy,
     /// Cache pool size in items (Fig. 11).
     pub pool_size: usize,
+    /// Cache shards: the pool is split across this many key-hashed shards,
+    /// each behind its own lock, so parallel workers don't serialize on a
+    /// single cache mutex.
+    pub shards: usize,
     /// Worker threads; 1 = sequential.
     pub threads: usize,
     /// Whether to apply the frequency-ratio ordering (ablation switch; off
@@ -42,6 +46,7 @@ impl Default for SchedulerConfig {
             granularity: CacheGranularity::Both,
             policy: EvictionPolicy::Lfu,
             pool_size: 100,
+            shards: 8,
             threads: 1,
             frequency_sort: true,
             executor: ExecutorConfig::default(),
@@ -115,17 +120,42 @@ impl QueryScheduler {
         };
         let mut idx: Vec<usize> = (0..queries.len()).collect();
         let scores: Vec<f64> = queries.iter().map(score).collect();
-        idx.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("scores are finite")
-                .then(a.cmp(&b))
-        });
+        // `total_cmp`, not `partial_cmp().expect()`: a NaN score must not
+        // panic the whole batch (it sorts last), and the index tie-break
+        // keeps the order stable.
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         (idx, scores)
     }
 
-    /// Execute a batch of query graphs over the merged graph.
+    /// Build the sharded cache this scheduler's configuration describes —
+    /// what [`run`](Self::run) uses per batch, and what a long-lived caller
+    /// (the query service) constructs once and feeds to
+    /// [`run_with_cache`](Self::run_with_cache) forever.
+    pub fn build_cache(&self) -> ShardedCache {
+        ShardedCache::new(
+            self.config.granularity,
+            self.config.policy,
+            self.config.pool_size,
+            self.config.shards,
+        )
+    }
+
+    /// Execute a batch of query graphs over the merged graph with a fresh
+    /// per-batch cache.
     pub fn run(&self, graph: &Graph, queries: &[QueryGraph]) -> BatchReport {
+        self.run_with_cache(graph, queries, &self.build_cache())
+    }
+
+    /// Execute a batch against a caller-owned [`ShardedCache`], so cache
+    /// state persists across batches (and across requests when the cache
+    /// belongs to the serving layer). The report's `cache_stats` are the
+    /// *delta* this batch produced, not the cache's lifetime counters.
+    pub fn run_with_cache(
+        &self,
+        graph: &Graph,
+        queries: &[QueryGraph],
+        cache: &ShardedCache,
+    ) -> BatchReport {
         let (order, scores) = {
             let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SCHEDULE);
             let (sorted, scores) = Self::order_with_scores(queries);
@@ -135,11 +165,7 @@ impl QueryScheduler {
                 ((0..queries.len()).collect(), scores)
             }
         };
-        let cache = Mutex::new(KeyCentricCache::new(
-            self.config.granularity,
-            self.config.policy,
-            self.config.pool_size,
-        ));
+        let stats_before = cache.stats();
         let executor = QueryGraphExecutor::with_config(graph, self.config.executor);
 
         let mut answers: Vec<Option<Result<Answer, ExecError>>> =
@@ -151,7 +177,7 @@ impl QueryScheduler {
             for &qi in &order {
                 let t0 = Instant::now();
                 let result = executor
-                    .execute_cached(&queries[qi], Some(&cache))
+                    .execute_cached(&queries[qi], Some(cache))
                     .map(|(a, _)| a);
                 per_query[qi] = t0.elapsed();
                 answers[qi] = Some(result);
@@ -159,7 +185,7 @@ impl QueryScheduler {
         } else {
             // Work-stealing over the ordered queue; results collected per
             // worker and merged afterwards (answers are Send, the graph is
-            // shared immutably, the cache behind the mutex).
+            // shared immutably, the cache sharded behind per-shard locks).
             let next = AtomicUsize::new(0);
             type WorkerResult = (usize, Result<Answer, ExecError>, Duration);
             let results: Mutex<Vec<WorkerResult>> =
@@ -175,7 +201,7 @@ impl QueryScheduler {
                             let qi = order[slot];
                             let t0 = Instant::now();
                             let result = executor
-                                .execute_cached(&queries[qi], Some(&cache))
+                                .execute_cached(&queries[qi], Some(cache))
                                 .map(|(a, _)| a);
                             results.lock().push((qi, result, t0.elapsed()));
                         }
@@ -188,7 +214,7 @@ impl QueryScheduler {
             }
         }
 
-        let cache_stats = cache.lock().stats();
+        let cache_stats = cache.stats().delta_since(&stats_before);
         BatchReport {
             answers: answers
                 .into_iter()
@@ -326,6 +352,44 @@ mod tests {
         // The report carries them through in original order.
         let report = QueryScheduler::new(SchedulerConfig::default()).run(&graph(), &qs);
         assert_eq!(report.scores, scores);
+    }
+
+    /// A caller-owned cache persists across batches: the second identical
+    /// batch is served from cache state seeded by the first, and each
+    /// report carries only its own delta.
+    #[test]
+    fn shared_cache_persists_across_batches() {
+        let g = graph();
+        let qs = queries(&["Does the dog appear in the car?"]);
+        let scheduler = QueryScheduler::new(SchedulerConfig::default());
+        let cache = scheduler.build_cache();
+        let first = scheduler.run_with_cache(&g, &qs, &cache);
+        assert_eq!(first.cache_stats.path_hits, 0);
+        assert!(first.cache_stats.path_misses > 0);
+        let second = scheduler.run_with_cache(&g, &qs, &cache);
+        assert!(
+            second.cache_stats.path_hits > 0,
+            "second batch must hit the persistent cache: {:?}",
+            second.cache_stats
+        );
+        assert_eq!(second.cache_stats.path_misses, 0);
+        assert_eq!(first.answers, second.answers);
+    }
+
+    /// Regression for the score sort: exact ties must keep submission
+    /// order (stable index tie-break), run after run.
+    #[test]
+    fn equal_scores_keep_submission_order() {
+        let qs = queries(&[
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        for _ in 0..4 {
+            let (order, scores) = QueryScheduler::order_with_scores(&qs);
+            assert_eq!(order, vec![0, 1, 2]);
+            assert!(scores.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
+        }
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Property-based tests for the executor: cache invariants, matcher
 //! behaviour, and answer-shape guarantees.
 
-use parking_lot::Mutex;
 use std::sync::Arc;
 use proptest::prelude::*;
-use svqa_executor::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache};
+use svqa_executor::cache::{CacheGranularity, EvictionPolicy, KeyCentricCache, ShardedCache};
 use svqa_executor::executor::QueryGraphExecutor;
 use svqa_executor::matching::VertexMatcher;
 use svqa_executor::Answer;
@@ -82,6 +81,125 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Overwriting a key that is already cached must not evict anything
+    /// and must keep the entry's LFU frequency history (the seed version
+    /// called `make_room()` unconditionally and re-inserted with freq 1).
+    #[test]
+    fn overwrite_preserves_frequency_and_length(
+        pool in 1usize..6,
+        touches in 0usize..5,
+    ) {
+        let mut cache = KeyCentricCache::new(CacheGranularity::Scope, EvictionPolicy::Lfu, pool);
+        for i in 0..pool {
+            cache.scope_put(&format!("k{i}"), Arc::new(vec![]));
+        }
+        for _ in 0..touches {
+            prop_assert!(cache.scope_get("k0").is_some());
+        }
+        let freq_before = cache.scope_frequency("k0").unwrap();
+        let len_before = cache.len();
+
+        let replacement = Arc::new(vec![VertexId::from_index(9)]);
+        cache.scope_put("k0", Arc::clone(&replacement));
+
+        prop_assert_eq!(cache.scope_frequency("k0"), Some(freq_before));
+        prop_assert_eq!(cache.len(), len_before);
+        prop_assert_eq!(cache.scope_get("k0"), Some(replacement));
+        // No unrelated entry paid for the overwrite.
+        for i in 1..pool {
+            prop_assert!(cache.scope_frequency(&format!("k{i}")).is_some(), "k{} evicted", i);
+        }
+    }
+
+    /// When a fresh insert forces an eviction, the victim is exactly the
+    /// policy minimum: min (freq, last_used) under LFU, min (last_used,
+    /// freq) under LRU. Ticks are unique, so the minimum is unambiguous
+    /// and the model predicts the victim exactly.
+    #[test]
+    fn eviction_picks_the_policy_minimum(
+        pool in 2usize..8,
+        gets in proptest::collection::vec(0usize..8, 0..40),
+        lfu in any::<bool>(),
+    ) {
+        let policy = if lfu { EvictionPolicy::Lfu } else { EvictionPolicy::Lru };
+        let mut cache = KeyCentricCache::new(CacheGranularity::Scope, policy, pool);
+        // Model: (key, freq, last_used), mirroring the cache's tick clock
+        // (every get and put advances it by one).
+        let mut tick = 0u64;
+        let mut model: Vec<(String, u64, u64)> = Vec::new();
+        for i in 0..pool {
+            let k = format!("k{i}");
+            tick += 1;
+            cache.scope_put(&k, Arc::new(vec![]));
+            model.push((k, 1, tick));
+        }
+        for g in gets {
+            let idx = g % pool;
+            tick += 1;
+            prop_assert!(cache.scope_get(&model[idx].0).is_some());
+            model[idx].1 += 1;
+            model[idx].2 = tick;
+        }
+
+        cache.scope_put("fresh", Arc::new(vec![]));
+
+        let victim = model
+            .iter()
+            .min_by_key(|(_, f, t)| match policy {
+                EvictionPolicy::Lfu => (*f, *t),
+                EvictionPolicy::Lru => (*t, *f),
+            })
+            .unwrap()
+            .0
+            .clone();
+        prop_assert!(cache.scope_frequency(&victim).is_none(), "{} should be the victim", victim);
+        prop_assert!(cache.scope_frequency("fresh").is_some());
+        for (k, _, _) in model.iter().filter(|(k, _, _)| *k != victim) {
+            prop_assert!(cache.scope_frequency(k).is_some(), "{} wrongly evicted", k);
+        }
+        prop_assert_eq!(cache.len(), pool);
+    }
+
+    /// The sharded cache obeys the same global invariants as a single
+    /// pool: total length never exceeds the budget, and any key still
+    /// resident returns the last value put for it (routing is stable).
+    #[test]
+    fn sharded_cache_respects_budget_and_routing(
+        ops in proptest::collection::vec(arb_op(), 0..200),
+        pool in 0usize..16,
+        shards in 1usize..6,
+        lfu in any::<bool>(),
+    ) {
+        let policy = if lfu { EvictionPolicy::Lfu } else { EvictionPolicy::Lru };
+        let cache = ShardedCache::new(CacheGranularity::Both, policy, pool, shards);
+        let mut last_scope: std::collections::HashMap<String, Arc<Vec<VertexId>>> =
+            std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::ScopeGet(k) => { cache.scope_get(&format!("s{k}")); }
+                Op::ScopePut(k, v) => {
+                    let key = format!("s{k}");
+                    let value = Arc::new(vec![VertexId::from_index(v as usize)]);
+                    cache.scope_put(&key, Arc::clone(&value));
+                    last_scope.insert(key, value);
+                }
+                Op::PathGet(k) => { cache.path_get(&format!("p{k}")); }
+                Op::PathPut(k) => { cache.path_put(&format!("p{k}"), Arc::new(vec![])); }
+            }
+            prop_assert!(cache.len() <= pool, "len {} > pool {}", cache.len(), pool);
+        }
+        for (key, value) in &last_scope {
+            if let Some(got) = cache.scope_get(key) {
+                prop_assert_eq!(&got, value, "stale value for {}", key);
+            }
+        }
+        // Merged stats account for every lookup made above.
+        let _ = cache.stats().total_lookups();
+        let _ = cache.value_bytes();
+    }
+}
+
 /// A small random merged-graph-like world for executor properties.
 fn arb_world() -> impl Strategy<Value = Graph> {
     proptest::collection::vec((0usize..6, 0usize..6, 0usize..4), 1..30).prop_map(|edges| {
@@ -149,11 +267,7 @@ proptest! {
         };
         let ex = QueryGraphExecutor::new(&g);
         let plain = ex.execute(&gq).unwrap();
-        let cache = Mutex::new(KeyCentricCache::new(
-            CacheGranularity::Both,
-            EvictionPolicy::Lfu,
-            64,
-        ));
+        let cache = ShardedCache::new(CacheGranularity::Both, EvictionPolicy::Lfu, 64, 4);
         // Run twice so the second pass reads from a warm cache.
         let first = ex.execute_cached(&gq, Some(&cache)).unwrap().0;
         let second = ex.execute_cached(&gq, Some(&cache)).unwrap().0;

@@ -1,8 +1,9 @@
 //! Dependency-free metrics endpoint.
 //!
-//! A deliberately tiny HTTP/1.1 server on `std::net::TcpListener` — no
-//! async runtime, no framework — good enough for a Prometheus scraper or
-//! `curl` hitting localhost. Routes:
+//! A deliberately tiny HTTP/1.1 server built on the reusable
+//! [`router`](crate::router) layer — no async runtime, no framework —
+//! good enough for a Prometheus scraper or `curl` hitting localhost.
+//! Routes:
 //!
 //! * `GET /metrics` — the live [`Recorder`] snapshot in Prometheus text
 //!   exposition format;
@@ -13,19 +14,48 @@
 //!
 //! Requests are served serially on the accept loop: a scrape is a few
 //! milliseconds of formatting, and serial handling keeps the server free
-//! of any thread-per-connection machinery.
+//! of any thread-per-connection machinery. Per-connection read/write
+//! timeouts (see [`HttpServer`]) guarantee one silent client cannot wedge
+//! the loop.
 
 use crate::exposition::prometheus_text;
 use crate::recent::ProfileRing;
 use crate::recorder::Recorder;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::router::{HttpServer, Response, Router};
+use std::net::SocketAddr;
+use std::time::Duration;
 
 /// A bound (but not yet serving) metrics server.
 pub struct MetricsServer {
-    listener: TcpListener,
+    server: HttpServer,
     recorder: Recorder,
     profiles: ProfileRing,
+}
+
+/// The route table shared by [`MetricsServer`] and the query server: both
+/// expose the same observability surface, `svqa serve` just mounts it next
+/// to its query routes.
+pub fn metrics_routes<'h>(
+    router: Router<'h>,
+    recorder: &Recorder,
+    profiles: &ProfileRing,
+) -> Router<'h> {
+    let text_recorder = recorder.clone();
+    let json_recorder = recorder.clone();
+    let profiles = profiles.clone();
+    router
+        .get("/metrics", move |_| {
+            // The version parameter is part of the exposition format
+            // contract; Prometheus keys parsing off it.
+            Response::text(200, prometheus_text(&text_recorder.snapshot()))
+                .with_content_type("text/plain; version=0.0.4; charset=utf-8")
+        })
+        .get("/metrics.json", move |_| {
+            Response::json(200, json_recorder.snapshot().to_json_pretty())
+        })
+        .get("/profiles/recent", move |_| {
+            Response::json(200, profiles.to_json())
+        })
 }
 
 impl MetricsServer {
@@ -37,7 +67,7 @@ impl MetricsServer {
         profiles: ProfileRing,
     ) -> std::io::Result<MetricsServer> {
         Ok(MetricsServer {
-            listener: TcpListener::bind(addr)?,
+            server: HttpServer::bind(addr)?,
             recorder,
             profiles,
         })
@@ -45,18 +75,33 @@ impl MetricsServer {
 
     /// The actual bound address (useful with port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+        self.server.local_addr()
+    }
+
+    /// Override the per-connection read/write timeout (`None` disables;
+    /// the default is [`crate::router::DEFAULT_IO_TIMEOUT`]).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) {
+        self.server.set_io_timeout(timeout);
+    }
+
+    fn router(&self) -> Router<'_> {
+        let router = Router::new().get("/", |_| {
+            Response::text(
+                200,
+                "svqa metrics endpoint\n\n\
+                 /metrics          Prometheus text exposition\n\
+                 /metrics.json     metrics snapshot as JSON\n\
+                 /profiles/recent  recent query profiles (JSON array)\n",
+            )
+        });
+        metrics_routes(router, &self.recorder, &self.profiles)
     }
 
     /// Accept and answer connections forever (serially). Per-connection
     /// I/O errors are swallowed: a scraper hanging up mid-response must
     /// not kill the endpoint.
     pub fn serve_forever(&self) -> ! {
-        loop {
-            if let Ok((stream, _)) = self.listener.accept() {
-                let _ = self.handle(stream);
-            }
-        }
+        self.server.serve_serial(&self.router())
     }
 
     /// Run `serve_forever` on a background thread, returning the bound
@@ -68,75 +113,14 @@ impl MetricsServer {
             .spawn(move || self.serve_forever())?;
         Ok(addr)
     }
-
-    fn handle(&self, mut stream: TcpStream) -> std::io::Result<()> {
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut request_line = String::new();
-        reader.read_line(&mut request_line)?;
-        // Drain headers so well-behaved clients see a clean close.
-        let mut header = String::new();
-        while reader.read_line(&mut header)? > 0 && header != "\r\n" && header != "\n" {
-            header.clear();
-        }
-
-        let mut parts = request_line.split_whitespace();
-        let method = parts.next().unwrap_or("");
-        let path = parts.next().unwrap_or("/");
-
-        let (status, content_type, body) = if method != "GET" {
-            (
-                "405 Method Not Allowed",
-                "text/plain; charset=utf-8",
-                "only GET is supported\n".to_owned(),
-            )
-        } else {
-            match path {
-                "/metrics" => (
-                    "200 OK",
-                    // The version parameter is part of the exposition
-                    // format contract; Prometheus keys parsing off it.
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    prometheus_text(&self.recorder.snapshot()),
-                ),
-                "/metrics.json" => (
-                    "200 OK",
-                    "application/json",
-                    self.recorder.snapshot().to_json_pretty(),
-                ),
-                "/profiles/recent" => ("200 OK", "application/json", self.profiles.to_json()),
-                "/" => (
-                    "200 OK",
-                    "text/plain; charset=utf-8",
-                    "svqa metrics endpoint\n\n\
-                     /metrics          Prometheus text exposition\n\
-                     /metrics.json     metrics snapshot as JSON\n\
-                     /profiles/recent  recent query profiles (JSON array)\n"
-                        .to_owned(),
-                ),
-                _ => (
-                    "404 Not Found",
-                    "text/plain; charset=utf-8",
-                    format!("no route for {path}\n"),
-                ),
-            }
-        };
-
-        write!(
-            stream,
-            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n",
-            body.len()
-        )?;
-        stream.write_all(body.as_bytes())?;
-        stream.flush()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use serde_json::json;
-    use std::io::Read;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
     use std::time::Duration;
 
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
@@ -150,16 +134,17 @@ mod tests {
         (head.to_owned(), body.to_owned())
     }
 
-    fn serve_sample() -> SocketAddr {
+    fn sample_server() -> MetricsServer {
         let recorder = Recorder::new();
         recorder.incr_counter_by("questions_answered", 3);
         recorder.record_span("parse", Duration::from_micros(50));
         let profiles = ProfileRing::new(4);
         profiles.push(json!({"question": "How many dogs?"}));
-        MetricsServer::bind("127.0.0.1:0", recorder, profiles)
-            .expect("bind")
-            .spawn()
-            .expect("spawn")
+        MetricsServer::bind("127.0.0.1:0", recorder, profiles).expect("bind")
+    }
+
+    fn serve_sample() -> SocketAddr {
+        sample_server().spawn().expect("spawn")
     }
 
     #[test]
@@ -198,6 +183,30 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
         // The serial accept loop must keep answering after an error path.
         let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    }
+
+    #[test]
+    fn post_to_metrics_is_405() {
+        let addr = serve_sample();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    #[test]
+    fn silent_scraper_cannot_wedge_the_endpoint() {
+        let mut server = sample_server();
+        server.set_io_timeout(Some(Duration::from_millis(100)));
+        let addr = server.spawn().expect("spawn");
+
+        // A client that connects and never sends a byte: before the read
+        // timeout existed this parked the serial loop forever.
+        let _silent = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let (head, _) = get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     }
 }

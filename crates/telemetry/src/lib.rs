@@ -37,15 +37,17 @@ mod histogram;
 mod http;
 mod recent;
 mod recorder;
+pub mod router;
 mod span;
 mod trace;
 mod trace_event;
 
 pub use exposition::prometheus_text;
 pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
-pub use http::MetricsServer;
+pub use http::{metrics_routes, MetricsServer};
 pub use recent::{global_profiles, ProfileRing};
 pub use recorder::{global, MetricsSnapshot, Recorder};
+pub use router::{HttpServer, Request, Response, Router};
 pub use span::Span;
 pub use trace::{QueryOutcome, QueryTrace, StageTiming};
 pub use trace_event::{ChromeTrace, TraceEvent};
@@ -89,6 +91,18 @@ pub mod counter {
     pub const CACHE_PATH_HITS: &str = "cache_path_hits";
     /// Path-cache misses observed by finished batches.
     pub const CACHE_PATH_MISSES: &str = "cache_path_misses";
+    /// Requests accepted by the query server (`svqa serve`).
+    pub const SERVER_REQUESTS: &str = "server_requests";
+    /// Requests rejected with 429 because the admission queue was full.
+    pub const SERVER_REJECTED: &str = "server_rejected";
+    /// Requests that blew their deadline (answered with 504).
+    pub const SERVER_DEADLINE_EXCEEDED: &str = "server_deadline_exceeded";
+}
+
+/// Well-known gauge names.
+pub mod gauge {
+    /// Query-server requests admitted but not yet answered.
+    pub const SERVER_REQUESTS_IN_FLIGHT: &str = "server_requests_in_flight";
 }
 
 /// Named hit/miss counters for the key-centric cache's two pools.
