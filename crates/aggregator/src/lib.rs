@@ -14,6 +14,7 @@
 //!   in both directions, so query execution can hop between visual
 //!   evidence and external knowledge.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

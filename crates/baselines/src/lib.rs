@@ -15,6 +15,7 @@
 //!   (deep-learning latencies are *simulated*; SVQA's own latencies are
 //!   wall-clock — EXPERIMENTS.md discusses the comparison).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod simclock;

@@ -7,6 +7,7 @@
 //! `results/`; the Criterion benches under `benches/` time scaled-down
 //! versions of the same code paths.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("ask") => cmd_ask(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("repl") => cmd_repl(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -56,9 +57,9 @@ fn main() -> ExitCode {
         Some("serve-metrics") => cmd_serve_metrics(&args[1..]),
         _ => {
             eprintln!(
-                "usage: svqa-cli <build|ask|explain|eval|repl|stats|serve|serve-metrics> \
+                "usage: svqa-cli <build|ask|explain|lint|eval|repl|stats|serve|serve-metrics> \
                  [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] \
-                 [--explain] [--json] [--trace-out FILE] [--profile-out FILE] \
+                 [--corpus FILE] [--explain] [--json] [--trace-out FILE] [--profile-out FILE] \
                  [--port N] [--workers N] [--queue-depth N] [--deadline-ms N] \
                  [--cache-pool N] [--cache-shards N] [--verbose] [question]"
             );
@@ -78,12 +79,13 @@ type AnyError = Box<dyn std::error::Error>;
 
 /// Flags that consume the following argument as their value. Anything else
 /// starting with `--` is a boolean switch (`--explain`, `--verbose`, …).
-const VALUE_FLAGS: [&str; 13] = [
+const VALUE_FLAGS: [&str; 14] = [
     "--images",
     "--seed",
     "--out",
     "--world",
     "--metrics",
+    "--corpus",
     "--trace-out",
     "--profile-out",
     "--port",
@@ -179,12 +181,31 @@ fn answer_over(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyErro
     result
 }
 
+/// Build a linter over a loaded world graph and gate `gq` on it: hard
+/// `Error` diagnostics short-circuit before the executor runs; warnings
+/// and hints come back for display.
+fn lint_world_gate(
+    graph: &svqa::graph::Graph,
+    gq: &svqa::qparser::QueryGraph,
+) -> Result<svqa::qlint::LintReport, AnyError> {
+    let linter = svqa::qlint::Linter::new(svqa::qlint::Schema::extract(graph));
+    let report = linter.lint(gq);
+    if report.has_errors() {
+        return Err(Box::new(svqa::SvqaError::Lint(report)));
+    }
+    Ok(report)
+}
+
 fn answer_over_inner(graph: &svqa::graph::Graph, question: &str) -> Result<(), AnyError> {
     let generator = QueryGraphGenerator::new();
     let gq = generator.generate(question)?;
     println!("query graph ({:?}):", gq.question_type);
     for (i, v) in gq.vertices.iter().enumerate() {
         println!("  v{i}: {}", v.display());
+    }
+    let report = lint_world_gate(graph, &gq)?;
+    for d in &report.diagnostics {
+        println!("lint: {d}");
     }
     let executor = QueryGraphExecutor::new(graph);
     let (answer, explanation) = executor.execute_explained(&gq)?;
@@ -217,9 +238,17 @@ fn profile_question(graph: &svqa::graph::Graph, question: &str) -> Result<Profil
     let t0 = Instant::now();
     let gq = QueryGraphGenerator::new().generate(question)?;
     let parse_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let t1 = Instant::now();
+    let report = lint_world_gate(graph, &gq)?;
+    let lint_ns = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let executor = QueryGraphExecutor::new(graph);
     let mut run = executor.execute_profiled(&gq, None)?;
+    // Reverse order: parse ends up above lint, matching pipeline order.
+    run.profile.prepend_stage(svqa::telemetry::stage::LINT, lint_ns);
     run.profile.prepend_stage(svqa::telemetry::stage::PARSE, parse_ns);
+    if !report.is_clean() {
+        run.profile.set_lint(report.diagnostics);
+    }
     svqa::telemetry::global_profiles().push(run.profile.to_json_value());
     svqa::telemetry::global().incr_counter(svqa::telemetry::counter::QUESTIONS_ANSWERED);
     Ok(run)
@@ -279,6 +308,89 @@ fn cmd_explain(args: &[String]) -> Result<(), AnyError> {
         print!("{}", run.profile.render_tree());
     }
     write_profile_outputs(args, &run)
+}
+
+/// `lint` — static analysis of query graphs without executing them: one
+/// question (positional) or a whole corpus (`--corpus questions.json`).
+/// Prints every diagnostic (or a JSON report with `--json`) and exits
+/// nonzero iff any question produced an `Error`-severity diagnostic — the
+/// CI gate for "the bundled corpus stays statically clean". Questions the
+/// parser rejects are reported but do not fail the gate: parse coverage
+/// is the parser's business, not the linter's.
+fn cmd_lint(args: &[String]) -> Result<(), AnyError> {
+    let world = PathBuf::from(flag(args, "--world").unwrap_or_else(|| "world".to_owned()));
+    let json = args.iter().any(|a| a == "--json");
+    let (graph, _) = load_world(&world)?;
+    let linter = svqa::qlint::Linter::new(svqa::qlint::Schema::extract(&graph));
+    let generator = QueryGraphGenerator::new();
+
+    let questions: Vec<String> = match flag(args, "--corpus") {
+        Some(path) => {
+            let pairs: Vec<QaPair> = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+            pairs.into_iter().map(|p| p.question).collect()
+        }
+        None => vec![positional(args).ok_or("no question or --corpus FILE given")?],
+    };
+
+    let (mut errors, mut warnings, mut hints, mut parse_failures) = (0usize, 0usize, 0usize, 0usize);
+    let mut reports = Vec::with_capacity(questions.len());
+    for question in &questions {
+        match generator.generate(question) {
+            Err(e) => {
+                parse_failures += 1;
+                if !json {
+                    println!("{question}\n  parse failed: {e}");
+                }
+                reports.push(serde_json::json!({
+                    "question": question,
+                    "parse_error": e.to_string(),
+                }));
+            }
+            Ok(gq) => {
+                let report = linter.lint(&gq);
+                errors += report.errors().count();
+                for d in &report.diagnostics {
+                    match d.severity {
+                        svqa::qlint::Severity::Warning => warnings += 1,
+                        svqa::qlint::Severity::Hint => hints += 1,
+                        svqa::qlint::Severity::Error => {}
+                    }
+                }
+                if !json && !report.is_clean() {
+                    println!("{question}");
+                    for d in &report.diagnostics {
+                        println!("  {d}");
+                    }
+                }
+                reports.push(serde_json::json!({
+                    "question": question,
+                    "diagnostics": report.diagnostics,
+                }));
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "questions": reports,
+                "errors": errors,
+                "warnings": warnings,
+                "hints": hints,
+                "parse_failures": parse_failures,
+            }))?
+        );
+    } else {
+        println!(
+            "linted {} question(s): {errors} errors, {warnings} warnings, \
+             {hints} hints, {parse_failures} parse failures",
+            questions.len()
+        );
+    }
+    if errors > 0 {
+        return Err(format!("{errors} error-severity diagnostic(s)").into());
+    }
+    Ok(())
 }
 
 /// `serve` — build a world in process and run the query service on it:

@@ -38,6 +38,7 @@
 //! println!("answer: {answer}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
@@ -60,6 +61,7 @@ pub use svqa_dataset as dataset;
 pub use svqa_executor as executor;
 pub use svqa_graph as graph;
 pub use svqa_nlp as nlp;
+pub use svqa_qlint as qlint;
 pub use svqa_qparser as qparser;
 pub use svqa_telemetry as telemetry;
 pub use svqa_vision as vision;

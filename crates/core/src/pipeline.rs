@@ -9,8 +9,9 @@ use svqa_executor::executor::QueryGraphExecutor;
 use svqa_executor::scheduler::{BatchReport, QueryScheduler};
 use svqa_executor::{Answer, CacheStats};
 use svqa_graph::Graph;
+use svqa_qlint::{LintReport, Linter, Schema, Severity};
 use svqa_qparser::{QueryGraph, QueryGraphGenerator};
-use svqa_telemetry::{counter, global, stage, QueryOutcome, QueryTrace};
+use svqa_telemetry::{counter, global, stage, QueryOutcome, QueryTrace, Span};
 use svqa_vision::prior::PairPrior;
 use svqa_vision::scene::SyntheticImage;
 use svqa_vision::sgg::SceneGraphGenerator;
@@ -76,6 +77,10 @@ pub struct Svqa {
     /// KG vertices occupy merged ids `0..kg_vertex_count` (absorb order),
     /// which is how incremental linking finds knowledge counterparts.
     kg_vertex_count: usize,
+    /// Static query-graph analyzer over the merged graph's extracted
+    /// schema; every `answer*` path runs it before the executor and
+    /// short-circuits error-severity findings.
+    linter: Linter,
 }
 
 impl Svqa {
@@ -103,6 +108,7 @@ impl Svqa {
             sgg_time,
             merge_time,
         };
+        let linter = Linter::new(Schema::extract(&merged.graph));
         Svqa {
             config,
             merged: merged.graph,
@@ -110,6 +116,7 @@ impl Svqa {
             build_stats,
             sgg,
             kg_vertex_count: kg.vertex_count(),
+            linter,
         }
     }
 
@@ -153,6 +160,9 @@ impl Svqa {
         self.build_stats.merged_vertices = self.merged.vertex_count();
         self.build_stats.merged_edges = self.merged.edge_count();
         self.build_stats.merge.links_created += links;
+        // The new evidence may introduce categories/predicates the old
+        // schema has never seen; re-extract so the linter stays truthful.
+        self.linter = Linter::new(Schema::extract(&self.merged));
         links
     }
 
@@ -164,6 +174,7 @@ impl Svqa {
     ) -> Result<(Answer, svqa_executor::Explanation), SvqaError> {
         let result = (|| {
             let gq = self.parse(question)?;
+            self.lint_gate(&gq)?;
             let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
             Ok(executor.execute_explained(&gq)?)
         })();
@@ -191,10 +202,54 @@ impl Svqa {
         Ok(self.generator.generate(question)?)
     }
 
+    /// The merged graph's extracted schema — what the linter checks
+    /// questions against.
+    pub fn schema(&self) -> &Schema {
+        self.linter.schema()
+    }
+
+    /// Statically analyze a question without executing it: parse, then run
+    /// the query-graph linter over the result. `Err` only for parse
+    /// failures — an error-riddled report comes back as `Ok`, so callers
+    /// can render every diagnostic.
+    pub fn lint(&self, question: &str) -> Result<LintReport, SvqaError> {
+        let gq = self.parse(question)?;
+        Ok(self.lint_graph(&gq))
+    }
+
+    /// Lint an already-parsed query graph: records the `lint` stage span
+    /// and bumps the lint counters.
+    pub fn lint_graph(&self, gq: &QueryGraph) -> LintReport {
+        let _span = Span::enter(stage::LINT);
+        let report = self.linter.lint(gq);
+        let errors = report.count(Severity::Error) as u64;
+        let warnings = report.count(Severity::Warning) as u64;
+        if errors > 0 {
+            global().incr_counter_by(counter::LINT_ERRORS, errors);
+        }
+        if warnings > 0 {
+            global().incr_counter_by(counter::LINT_WARNINGS, warnings);
+        }
+        report
+    }
+
+    /// Lint-first gate for the `answer*` paths: error-severity findings
+    /// short-circuit execution; otherwise the (possibly warning-bearing)
+    /// report is handed back for attachment to profiles.
+    fn lint_gate(&self, gq: &QueryGraph) -> Result<LintReport, SvqaError> {
+        let report = self.lint_graph(gq);
+        if report.has_errors() {
+            Err(SvqaError::Lint(report))
+        } else {
+            Ok(report)
+        }
+    }
+
     /// Answer a single question end-to-end.
     pub fn answer(&self, question: &str) -> Result<Answer, SvqaError> {
         let result = (|| {
             let gq = self.parse(question)?;
+            self.lint_gate(&gq)?;
             let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
             Ok(executor.execute(&gq)?)
         })();
@@ -228,15 +283,23 @@ impl Svqa {
 
         let result = match parsed {
             Ok(gq) => {
-                let executor =
-                    QueryGraphExecutor::with_config(&self.merged, self.config.executor);
-                let t1 = Instant::now();
-                let executed = executor.execute_cached(&gq, cache).map(|(a, _)| a);
-                trace.record_stage(stage::MATCH, t1.elapsed());
-                if executed.is_err() {
-                    trace.outcome = QueryOutcome::ExecError;
+                let t_lint = Instant::now();
+                let lint = self.lint_graph(&gq);
+                trace.record_stage(stage::LINT, t_lint.elapsed());
+                if lint.has_errors() {
+                    trace.outcome = QueryOutcome::LintError;
+                    Err(SvqaError::Lint(lint))
+                } else {
+                    let executor =
+                        QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+                    let t1 = Instant::now();
+                    let executed = executor.execute_cached(&gq, cache).map(|(a, _)| a);
+                    trace.record_stage(stage::MATCH, t1.elapsed());
+                    if executed.is_err() {
+                        trace.outcome = QueryOutcome::ExecError;
+                    }
+                    executed.map_err(SvqaError::from)
                 }
-                executed.map_err(SvqaError::from)
             }
             Err(e) => {
                 trace.outcome = QueryOutcome::ParseError;
@@ -264,9 +327,17 @@ impl Svqa {
             let t0 = Instant::now();
             let gq = self.parse(question)?;
             let parse_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let t1 = Instant::now();
+            let lint = self.lint_gate(&gq)?;
+            let lint_ns = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
             let mut run = executor.execute_profiled(&gq, cache)?;
+            // Prepend in reverse: lint first so parse ends up on top.
+            run.profile.prepend_stage(stage::LINT, lint_ns);
             run.profile.prepend_stage(stage::PARSE, parse_ns);
+            if !lint.is_clean() {
+                run.profile.set_lint(lint.diagnostics);
+            }
             svqa_telemetry::global_profiles().push(run.profile.to_json_value());
             Ok(run)
         })();
@@ -300,19 +371,34 @@ impl Svqa {
         for (i, q) in questions.iter().enumerate() {
             let t0 = Instant::now();
             match self.generator.generate(q) {
-                Ok(gq) => parsed.push((i, gq)),
+                Ok(gq) => {
+                    traces[i].record_stage(stage::PARSE, t0.elapsed());
+                    let t_lint = Instant::now();
+                    let lint = self.lint_graph(&gq);
+                    traces[i].record_stage(stage::LINT, t_lint.elapsed());
+                    if lint.has_errors() {
+                        traces[i].outcome = QueryOutcome::LintError;
+                        answers[i] = Some(Err(SvqaError::Lint(lint)));
+                    } else {
+                        parsed.push((i, gq));
+                    }
+                }
                 Err(e) => {
+                    traces[i].record_stage(stage::PARSE, t0.elapsed());
                     traces[i].outcome = QueryOutcome::ParseError;
                     answers[i] = Some(Err(e.into()));
                 }
             }
             per_query[i] = t0.elapsed();
-            traces[i].record_stage(stage::PARSE, per_query[i]);
         }
-        // Execution phase via the scheduler.
+        // Execution phase via the scheduler, with the linter's cardinality
+        // estimates as join-order hints (ties in the frequency ordering
+        // break toward cheaper plans).
         let graphs: Vec<QueryGraph> = parsed.iter().map(|(_, g)| g.clone()).collect();
+        let hints: Vec<f64> = graphs.iter().map(|g| self.linter.cost(g).total).collect();
         let scheduler = QueryScheduler::new(self.config.scheduler);
-        let report: BatchReport = scheduler.run_with_cache(&self.merged, &graphs, cache);
+        let report: BatchReport =
+            scheduler.run_with_cache_hinted(&self.merged, &graphs, cache, Some(&hints));
         for ((orig, _), (answer, dt)) in parsed
             .iter()
             .zip(report.answers.into_iter().zip(report.per_query))

@@ -291,8 +291,18 @@ impl QueryServer {
             Err(resp) => return resp,
         };
         let Some(question) = body.get("question").and_then(|q| q.as_str()) else {
-            return Response::json(400, "{\"error\": \"missing string field 'question'\"}");
+            return bad_request("missing-field", "missing string field 'question'");
         };
+        // Lint at the door: a question whose query graph provably cannot
+        // produce answers is rejected on the connection thread with the
+        // full diagnostics, without burning a worker slot on it.
+        match self.system.lint(question) {
+            Err(e) => return error_response(&e),
+            Ok(report) if report.has_errors() => {
+                return error_response(&SvqaError::Lint(report))
+            }
+            Ok(_) => {}
+        }
         self.submit(Work::Ask(question.to_owned()), self.deadline_of(&body))
     }
 
@@ -303,15 +313,13 @@ impl QueryServer {
             Err(resp) => return resp,
         };
         let Some(questions) = body.get("questions").and_then(|q| q.as_array()) else {
-            return Response::json(400, "{\"error\": \"missing array field 'questions'\"}");
+            return bad_request("missing-field", "missing array field 'questions'");
         };
         let mut batch = Vec::with_capacity(questions.len());
         for q in questions {
             match q.as_str() {
                 Some(s) => batch.push(s.to_owned()),
-                None => {
-                    return Response::json(400, "{\"error\": \"'questions' must be strings\"}")
-                }
+                None => return bad_request("bad-field", "'questions' must be strings"),
             }
         }
         self.submit(Work::Batch(batch), self.deadline_of(&body))
@@ -434,10 +442,21 @@ impl QueryServer {
 
 fn parse_body(req: &Request) -> Result<serde_json::Value, Response> {
     let Some(text) = req.body_str() else {
-        return Err(Response::json(400, "{\"error\": \"body is not UTF-8\"}"));
+        return Err(bad_request("bad-encoding", "body is not UTF-8"));
     };
     serde_json::from_str(text)
-        .map_err(|e| Response::json(400, format!("{{\"error\": \"invalid JSON: {e}\"}}")))
+        .map_err(|e| bad_request("bad-json", &format!("invalid JSON: {e}")))
+}
+
+/// A structured 400: `{"error": ..., "code": ...}`, counted in
+/// `server_requests_bad` so malformed traffic is visible in `/metrics`.
+fn bad_request(code: &str, message: &str) -> Response {
+    global().incr_counter(counter::SERVER_REQUESTS_BAD);
+    Response::json(
+        400,
+        serde_json::to_string(&serde_json::json!({ "error": message, "code": code }))
+            .expect("error serialization is infallible"),
+    )
 }
 
 fn deadline_response() -> Response {
@@ -446,13 +465,25 @@ fn deadline_response() -> Response {
 
 fn error_response(e: &SvqaError) -> Response {
     let status = match e {
-        SvqaError::Parse(_) => 400,
+        SvqaError::Parse(_) | SvqaError::Lint(_) => 400,
         SvqaError::Exec(_) => 500,
+    };
+    if status == 400 {
+        global().incr_counter(counter::SERVER_REQUESTS_BAD);
+    }
+    // Lint rejections carry the machine-readable diagnostics alongside the
+    // human-readable summary, so clients can surface "did you mean".
+    let body = match e {
+        SvqaError::Lint(report) => serde_json::json!({
+            "error": e.to_string(),
+            "code": "lint-rejected",
+            "diagnostics": report.diagnostics,
+        }),
+        _ => serde_json::json!({ "error": e.to_string() }),
     };
     Response::json(
         status,
-        serde_json::to_string(&serde_json::json!({ "error": e.to_string() }))
-            .expect("error serialization is infallible"),
+        serde_json::to_string(&body).expect("error serialization is infallible"),
     )
 }
 

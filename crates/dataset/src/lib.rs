@@ -22,6 +22,7 @@
 //! * [`vqav2`] — the "modified VQAv2" of Exp-2: simpler multi-image
 //!   questions baselines can answer after decomposition.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod groundtruth;

@@ -297,6 +297,20 @@ impl KeyCentricCache {
     pub fn path_frequency(&self, key: &str) -> Option<u64> {
         self.path.map.get(key).map(|e| e.freq)
     }
+
+    /// The configured item budget.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Every key currently resident in either pool (scope first).
+    fn resident_keys(&self) -> impl Iterator<Item = &str> {
+        self.scope
+            .map
+            .keys()
+            .chain(self.path.map.keys())
+            .map(String::as_str)
+    }
 }
 
 /// A key-hashed, shard-per-lock view of the key-centric cache.
@@ -314,6 +328,8 @@ impl KeyCentricCache {
 #[derive(Debug)]
 pub struct ShardedCache {
     shards: Vec<Mutex<KeyCentricCache>>,
+    /// The caller's total item budget (what the shard budgets must sum to).
+    pool_size: usize,
 }
 
 impl ShardedCache {
@@ -331,14 +347,17 @@ impl ShardedCache {
         let n = shards.min(pool_size).max(1);
         let base = pool_size / n;
         let remainder = pool_size % n;
-        ShardedCache {
+        let cache = ShardedCache {
             shards: (0..n)
                 .map(|i| {
                     let budget = base + usize::from(i < remainder);
                     Mutex::new(KeyCentricCache::new(granularity, policy, budget))
                 })
                 .collect(),
-        }
+            pool_size,
+        };
+        cache.debug_assert_invariants();
+        cache
     }
 
     /// A single-shard cache — the exact semantics of the paper's one pool,
@@ -352,12 +371,16 @@ impl ShardedCache {
         Self::new(CacheGranularity::None, EvictionPolicy::Lfu, 0, 1)
     }
 
-    fn shard(&self, key: &str) -> &Mutex<KeyCentricCache> {
+    fn shard_index(&self, key: &str) -> usize {
         // SipHash with the default (fixed) keys: deterministic across runs,
         // well-mixed across shards.
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<KeyCentricCache> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Look up a scope item in the key's shard.
@@ -418,6 +441,75 @@ impl ShardedCache {
     /// The LFU frequency of a path entry (non-touching).
     pub fn path_frequency(&self, key: &str) -> Option<u64> {
         self.shard(key).lock().path_frequency(key)
+    }
+
+    /// Run the [`invariants`] suite. Compiles to a no-op in release builds;
+    /// under `debug_assertions` a violation panics with the broken
+    /// invariant. Called at construction and by the property tests after
+    /// every mutation.
+    pub fn debug_assert_invariants(&self) {
+        #[cfg(debug_assertions)]
+        invariants::check(self);
+    }
+}
+
+/// Debug-assertions invariants for [`ShardedCache`] — the structural
+/// properties the sharding layer must preserve over the paper's single
+/// pool, checked exhaustively in debug builds (proptests run them after
+/// every operation) and compiled out of release binaries.
+#[cfg(debug_assertions)]
+mod invariants {
+    use super::ShardedCache;
+
+    /// All invariants, in one sweep over the shards.
+    pub(super) fn check(cache: &ShardedCache) {
+        budget_conserved(cache);
+        no_cross_shard_leakage(cache);
+    }
+
+    /// The per-shard budgets sum exactly to the configured pool size, no
+    /// shard has a zero budget while the pool is non-empty, and no shard
+    /// holds more items than its own budget (so the global `len() ≤
+    /// pool_size` bound follows shard-locally).
+    fn budget_conserved(cache: &ShardedCache) {
+        let mut total_budget = 0;
+        for (i, shard) in cache.shards.iter().enumerate() {
+            let shard = shard.lock();
+            assert!(
+                cache.pool_size == 0 || shard.pool_size() > 0,
+                "shard {i} has a zero budget inside a pool of {}",
+                cache.pool_size
+            );
+            assert!(
+                shard.len() <= shard.pool_size(),
+                "shard {i} holds {} items over its budget of {}",
+                shard.len(),
+                shard.pool_size()
+            );
+            total_budget += shard.pool_size();
+        }
+        assert_eq!(
+            total_budget, cache.pool_size,
+            "shard budgets sum to {total_budget}, configured pool is {}",
+            cache.pool_size
+        );
+    }
+
+    /// Every resident key hashes back to the shard that holds it: routing
+    /// is a function of the key alone, so a key can never be resident in
+    /// two shards at once (no stale aliases after eviction/overwrite).
+    fn no_cross_shard_leakage(cache: &ShardedCache) {
+        for (i, shard) in cache.shards.iter().enumerate() {
+            let shard = shard.lock();
+            for key in shard.resident_keys() {
+                assert_eq!(
+                    cache.shard_index(key),
+                    i,
+                    "key {key:?} resident in shard {i} but routes to shard {}",
+                    cache.shard_index(key)
+                );
+            }
+        }
     }
 }
 

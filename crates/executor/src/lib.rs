@@ -23,6 +23,7 @@
 //!   rendered as a text tree or JSON;
 //! * [`words`] — the predefined constraint word set `𝕊`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod answer;

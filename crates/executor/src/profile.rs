@@ -76,6 +76,11 @@ pub struct ExecutionProfile {
     /// Batch-scheduling rationale, when the query ran inside a batch.
     #[serde(default)]
     pub schedule: Option<ScheduleInfo>,
+    /// Non-fatal lint diagnostics (warnings/hints) the query-graph linter
+    /// raised before execution; error-severity findings short-circuit and
+    /// never reach a profile.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub lint: Vec<svqa_qlint::Diagnostic>,
 }
 
 /// What `execute_profiled` returns: the answer plus both provenance
@@ -127,6 +132,7 @@ impl ExecutionProfile {
             total_ns,
             cache,
             schedule: None,
+            lint: Vec::new(),
         }
     }
 
@@ -143,6 +149,11 @@ impl ExecutionProfile {
     /// Attach the batch-scheduling rationale.
     pub fn set_schedule(&mut self, info: ScheduleInfo) {
         self.schedule = Some(info);
+    }
+
+    /// Attach the linter's non-fatal diagnostics.
+    pub fn set_lint(&mut self, diagnostics: Vec<svqa_qlint::Diagnostic>) {
+        self.lint = diagnostics;
     }
 
     /// The profile as a [`QueryTrace`] (stage tree + cache stats), ready
@@ -202,6 +213,12 @@ impl ExecutionProfile {
         for s in &self.stages {
             if s.children.is_empty() {
                 let _ = writeln!(out, "  stage {}: {}", s.stage, fmt_ns(s.nanos));
+            }
+        }
+        if !self.lint.is_empty() {
+            let _ = writeln!(out, "  lint:");
+            for d in &self.lint {
+                let _ = writeln!(out, "    {d}");
             }
         }
         let order: Vec<String> = self.order.iter().map(|u| format!("v{u}")).collect();

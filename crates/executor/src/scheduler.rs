@@ -101,6 +101,19 @@ impl QueryScheduler {
     /// the *original* submission order — the reuse rationale surfaced by
     /// `EXPLAIN ANALYZE` and `BatchReport`.
     pub fn order_with_scores(queries: &[QueryGraph]) -> (Vec<usize>, Vec<f64>) {
+        Self::order_with_scores_hinted(queries, None)
+    }
+
+    /// [`order_with_scores`](Self::order_with_scores) with optional static
+    /// cost hints (per query, original order — e.g. `qlint`'s cardinality
+    /// estimates). Frequency ratio stays the primary key; among queries
+    /// with equal reuse potential, the cheaper estimated plan runs first so
+    /// it seeds the cache sooner, and the hint breaks ties *before* the
+    /// submission index does.
+    pub fn order_with_scores_hinted(
+        queries: &[QueryGraph],
+        cost_hints: Option<&[f64]>,
+    ) -> (Vec<usize>, Vec<f64>) {
         let mut freq: HashMap<String, usize> = HashMap::new();
         let mut total = 0usize;
         for q in queries {
@@ -120,10 +133,21 @@ impl QueryScheduler {
         };
         let mut idx: Vec<usize> = (0..queries.len()).collect();
         let scores: Vec<f64> = queries.iter().map(score).collect();
+        let cost = |i: usize| -> f64 {
+            cost_hints
+                .and_then(|h| h.get(i))
+                .copied()
+                .unwrap_or(0.0)
+        };
         // `total_cmp`, not `partial_cmp().expect()`: a NaN score must not
         // panic the whole batch (it sorts last), and the index tie-break
         // keeps the order stable.
-        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| {
+            scores[b]
+                .total_cmp(&scores[a])
+                .then(cost(a).total_cmp(&cost(b)))
+                .then(a.cmp(&b))
+        });
         (idx, scores)
     }
 
@@ -156,9 +180,22 @@ impl QueryScheduler {
         queries: &[QueryGraph],
         cache: &ShardedCache,
     ) -> BatchReport {
+        self.run_with_cache_hinted(graph, queries, cache, None)
+    }
+
+    /// [`run_with_cache`](Self::run_with_cache) with optional per-query
+    /// cost hints forwarded to the frequency ordering (see
+    /// [`order_with_scores_hinted`](Self::order_with_scores_hinted)).
+    pub fn run_with_cache_hinted(
+        &self,
+        graph: &Graph,
+        queries: &[QueryGraph],
+        cache: &ShardedCache,
+        cost_hints: Option<&[f64]>,
+    ) -> BatchReport {
         let (order, scores) = {
             let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SCHEDULE);
-            let (sorted, scores) = Self::order_with_scores(queries);
+            let (sorted, scores) = Self::order_with_scores_hinted(queries, cost_hints);
             if self.config.frequency_sort {
                 (sorted, scores)
             } else {
@@ -390,6 +427,29 @@ mod tests {
             assert_eq!(order, vec![0, 1, 2]);
             assert!(scores.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12));
         }
+    }
+
+    /// Among equal frequency scores, the cost hint decides: cheaper plans
+    /// run first. Without hints the submission index still breaks ties.
+    #[test]
+    fn cost_hints_break_frequency_ties() {
+        let qs = queries(&[
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let (order, _) =
+            QueryScheduler::order_with_scores_hinted(&qs, Some(&[3.0, 1.0, 2.0]));
+        assert_eq!(order, vec![1, 2, 0]);
+        // Hints must never override the frequency ordering itself.
+        let mixed = queries(&[
+            "Does the cat appear in the car?",
+            "Does the dog appear in the car?",
+            "Does the dog appear in the car?",
+        ]);
+        let (order, scores) =
+            QueryScheduler::order_with_scores_hinted(&mixed, Some(&[0.0, 9.0, 9.0]));
+        assert_eq!(*order.last().unwrap(), 0, "order={order:?} scores={scores:?}");
     }
 
     #[test]

@@ -188,6 +188,9 @@ proptest! {
                 Op::PathPut(k) => { cache.path_put(&format!("p{k}"), Arc::new(vec![])); }
             }
             prop_assert!(cache.len() <= pool, "len {} > pool {}", cache.len(), pool);
+            // Shard budgets keep summing to the pool budget and no key
+            // leaks into a foreign shard, after every single operation.
+            cache.debug_assert_invariants();
         }
         for (key, value) in &last_scope {
             if let Some(got) = cache.scope_get(key) {

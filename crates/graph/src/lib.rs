@@ -31,6 +31,7 @@
 //! assert_eq!(g.out_neighbors(ginny).count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

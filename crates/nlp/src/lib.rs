@@ -23,6 +23,7 @@
 //!
 //! The substitutions are documented in the repository's `DESIGN.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dep;

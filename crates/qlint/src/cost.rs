@@ -1,0 +1,163 @@
+//! Pass 3: per-quad cardinality estimation from schema statistics — the
+//! cartesian-blowup check and the scheduler's join-order hint feed.
+
+use crate::diag::{codes, Diagnostic, Severity, Slot};
+use crate::schema::Schema;
+use crate::{Linter, structural::bound_slot};
+use std::collections::HashMap;
+use svqa_nlp::lev::levenshtein_similarity;
+use svqa_nlp::vocab;
+use svqa_qparser::{NounPhrase, QueryGraph};
+
+/// Estimated work for one quad: the candidate-set sizes of both slots and
+/// the implied pair-scan size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadCost {
+    /// Query-graph vertex index.
+    pub vertex: usize,
+    /// Estimated subject candidate count.
+    pub subject_card: usize,
+    /// Estimated object candidate count.
+    pub object_card: usize,
+    /// `subject_card × object_card`, the pair-scan bound.
+    pub pairs: f64,
+}
+
+/// Estimated work for a whole query graph.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryCost {
+    /// Per-quad estimates, indexed like `gq.vertices`.
+    pub quads: Vec<QuadCost>,
+    /// Sum of all pair scans — the scalar the scheduler sorts on.
+    pub total: f64,
+}
+
+/// Estimate the cost of every quad. Bound slots inherit the provider's
+/// answer-side estimate (walked in execution order); wildcard slots scan
+/// every vertex; named slots use exact, fuzzy, or cluster cardinalities
+/// from the schema.
+pub fn query_cost(schema: &Schema, gq: &QueryGraph) -> QueryCost {
+    let Some(order) = gq.execution_order() else {
+        // Cyclic/dangling graphs are rejected by the structural pass; a
+        // zero cost keeps this function total for direct callers.
+        return QueryCost::default();
+    };
+
+    // (vertex, is_subject) → resolved cardinality, filled providers-first.
+    let mut cards: HashMap<(usize, bool), usize> = HashMap::new();
+    let mut quads = vec![
+        QuadCost { vertex: 0, subject_card: 0, object_card: 0, pairs: 0.0 };
+        gq.len()
+    ];
+    for v in order {
+        let spoc = &gq.vertices[v];
+        for (is_subject, np) in [(true, &spoc.subject), (false, &spoc.object)] {
+            let slot = if is_subject { Slot::Subject } else { Slot::Object };
+            let fed_by: Option<usize> = gq
+                .in_edges(v)
+                .filter(|e| bound_slot(e.dependency) == slot)
+                .map(|e| {
+                    let provider_is_subject = matches!(
+                        e.dependency,
+                        svqa_qparser::Dependency::S2S | svqa_qparser::Dependency::O2S
+                    );
+                    cards
+                        .get(&(e.provider, provider_is_subject))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .min();
+            let card = match fed_by {
+                Some(provided) => provided,
+                None => slot_cardinality(schema, np),
+            };
+            cards.insert((v, is_subject), card);
+        }
+        let subject_card = cards[&(v, true)];
+        let object_card = cards[&(v, false)];
+        quads[v] = QuadCost {
+            vertex: v,
+            subject_card,
+            object_card,
+            pairs: subject_card as f64 * object_card as f64,
+        };
+    }
+    let total = quads.iter().map(|q| q.pairs).sum();
+    QueryCost { quads, total }
+}
+
+/// Candidate-set size for one unbound slot.
+fn slot_cardinality(schema: &Schema, np: &NounPhrase) -> usize {
+    if np.is_empty() {
+        // Wildcard: the executor scans every vertex.
+        return schema.vertex_total();
+    }
+    let head = np.head.trim().to_lowercase();
+    let phrase = np.phrase.trim().to_lowercase();
+    let exact = schema.category_cardinality(&head) + if phrase != head {
+        schema.category_cardinality(&phrase)
+    } else {
+        0
+    };
+    if exact > 0 {
+        return exact;
+    }
+    // Fuzzy: everything a Levenshtein or same-cluster match could bind.
+    let cluster = vocab::cluster_of(&head);
+    schema
+        .categories()
+        .filter(|(label, _)| {
+            levenshtein_similarity(&head, label) >= 0.8
+                || cluster.is_some_and(|c| c.members.contains(label))
+        })
+        .map(|(_, n)| n)
+        .sum()
+}
+
+pub(crate) fn check(linter: &Linter, gq: &QueryGraph, out: &mut Vec<Diagnostic>) {
+    let schema = linter.schema();
+    let vertex_total = schema.vertex_total().max(1);
+    let blowup = linter.config.blowup_factor * vertex_total as f64;
+    let wide = (vertex_total / 10).max(64);
+
+    for q in &query_cost(schema, gq).quads {
+        let spoc = &gq.vertices[q.vertex];
+        if q.pairs > blowup && q.subject_card > 1 && q.object_card > 1 {
+            out.push(
+                Diagnostic::new(
+                    codes::CARTESIAN_BLOWUP,
+                    Severity::Warning,
+                    format!(
+                        "estimated {}×{} pair scan (~{:.0} pairs) over a \
+                         {vertex_total}-vertex graph",
+                        q.subject_card, q.object_card, q.pairs
+                    ),
+                )
+                .at_vertex(q.vertex),
+            );
+        }
+        for (slot, np, own, other) in [
+            (Slot::Subject, &spoc.subject, q.subject_card, q.object_card),
+            (Slot::Object, &spoc.object, q.object_card, q.subject_card),
+        ] {
+            // A wildcard that survived cost resolution at full vertex count
+            // (i.e. not narrowed by a dependency edge) against a wide other
+            // side: executable, but the scan is avoidably broad.
+            if np.is_empty() && own == schema.vertex_total() && other >= wide {
+                out.push(
+                    Diagnostic::new(
+                        codes::EXPENSIVE_WILDCARD,
+                        Severity::Hint,
+                        format!(
+                            "wildcard {} scans all {vertex_total} vertices \
+                             against {other} candidates on the other side",
+                            slot.name()
+                        ),
+                    )
+                    .at_vertex(q.vertex)
+                    .at_slot(slot),
+                );
+            }
+        }
+    }
+}

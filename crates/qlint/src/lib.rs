@@ -1,0 +1,125 @@
+//! `svqa-qlint`: static analysis of query graphs before execution.
+//!
+//! The parser (§IV-B) emits SPOC query graphs that the executor would
+//! otherwise run blindly — a typo'd predicate, a cyclic dependency edge, or
+//! an unbound answer slot costs a full sub-graph-matching scan before
+//! returning an empty answer. This crate lints a [`QueryGraph`] against the
+//! merged graph's [`Schema`] (its vocabulary of categories and predicates,
+//! extracted once after aggregation) and produces typed [`Diagnostic`]s in
+//! microseconds, so garbage plans are rejected at the door.
+//!
+//! Three pass families:
+//!
+//! 1. **structural** — dangling/cyclic dependency edges, empty SPOC slots,
+//!    unbound answer slots, quads unreachable from the answer vertex;
+//! 2. **semantic** — subject/object categories and predicates checked
+//!    against the schema, with edit-distance "did you mean" suggestions;
+//! 3. **cost** — per-quad cardinality estimates from schema statistics,
+//!    flagging cartesian blowups and feeding join-order hints to the
+//!    scheduler.
+//!
+//! Severity policy: [`Severity::Error`] means the plan *cannot* produce
+//! answers (the executor's own matching thresholds guarantee an empty
+//! match), [`Severity::Warning`] means the plan is suspicious or expensive
+//! but executable, [`Severity::Hint`] is planner guidance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod diag;
+mod schema;
+mod semantic;
+mod structural;
+
+pub use cost::{query_cost, QuadCost, QueryCost};
+pub use diag::{codes, Diagnostic, LintReport, Severity, Slot};
+pub use schema::Schema;
+
+use svqa_qparser::QueryGraph;
+
+/// Matching thresholds mirrored from the executor's defaults (§V-A). The
+/// linter must agree with `matchVertex`: a slot it calls unmatchable has to
+/// be one the executor would also fail to match, or lint errors would
+/// reject answerable questions.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Levenshtein similarity at or above which a category label matches.
+    pub lev_threshold: f64,
+    /// Embedding cosine similarity at or above which a category matches.
+    pub embed_threshold: f32,
+    /// Minimum embedding similarity for a predicate to select an edge.
+    pub min_predicate_similarity: f32,
+    /// A quad whose estimated pair scan exceeds `blowup_factor *
+    /// vertex_total` draws a cartesian-blowup warning.
+    pub blowup_factor: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            lev_threshold: 0.8,
+            embed_threshold: 0.6,
+            min_predicate_similarity: 0.45,
+            blowup_factor: 64.0,
+        }
+    }
+}
+
+/// The query-graph linter: a [`Schema`] plus the executor-mirroring
+/// thresholds, reused across questions.
+#[derive(Debug, Clone)]
+pub struct Linter {
+    schema: Schema,
+    config: LintConfig,
+    embedder: svqa_nlp::Embedder,
+}
+
+impl Linter {
+    /// Build a linter over an extracted schema with default thresholds.
+    pub fn new(schema: Schema) -> Self {
+        Linter::with_config(schema, LintConfig::default())
+    }
+
+    /// Build a linter with explicit thresholds.
+    pub fn with_config(schema: Schema, config: LintConfig) -> Self {
+        Linter {
+            schema,
+            config,
+            embedder: svqa_nlp::Embedder::new(),
+        }
+    }
+
+    /// The schema this linter checks against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Run all three pass families over a query graph.
+    pub fn lint(&self, gq: &QueryGraph) -> LintReport {
+        let mut diagnostics = Vec::new();
+        let structurally_sound = structural::check(gq, &mut diagnostics);
+        // Semantic and cost checks index slots and walk execution order;
+        // both are only meaningful on a structurally sound graph.
+        if structurally_sound {
+            semantic::check(self, gq, &mut diagnostics);
+            cost::check(self, gq, &mut diagnostics);
+        }
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.vertex.cmp(&b.vertex))
+                .then(a.code.cmp(&b.code))
+        });
+        LintReport { diagnostics }
+    }
+
+    /// Per-quad cost estimates for a query graph (the scheduler-hint feed);
+    /// independent of diagnostics.
+    pub fn cost(&self, gq: &QueryGraph) -> QueryCost {
+        cost::query_cost(&self.schema, gq)
+    }
+}
+
+#[cfg(test)]
+mod tests;

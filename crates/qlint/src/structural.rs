@@ -1,0 +1,144 @@
+//! Pass 1: structural checks on the dependency DAG and the SPOC slots.
+
+use crate::diag::{codes, Diagnostic, Severity, Slot};
+use svqa_qparser::{Dependency, QueryGraph, QuestionType};
+
+/// Run the structural checks. Returns `true` when the graph is sound
+/// enough for the semantic and cost passes to index vertices and walk an
+/// execution order (no dangling edges, no cycles, at least one vertex).
+pub(crate) fn check(gq: &QueryGraph, out: &mut Vec<Diagnostic>) -> bool {
+    if gq.is_empty() {
+        out.push(Diagnostic::new(
+            codes::EMPTY_QUERY_GRAPH,
+            Severity::Error,
+            "the query graph has no SPOC vertices: nothing to execute",
+        ));
+        return false;
+    }
+
+    let n = gq.len();
+    let mut dangling = false;
+    for (i, e) in gq.edges.iter().enumerate() {
+        if e.provider >= n || e.consumer >= n {
+            dangling = true;
+            out.push(Diagnostic::new(
+                codes::DANGLING_EDGE,
+                Severity::Error,
+                format!(
+                    "dependency edge #{i} ({} → {}, {}) points outside the {n}-vertex graph",
+                    e.provider,
+                    e.consumer,
+                    e.dependency.as_str()
+                ),
+            ));
+        } else if e.provider == e.consumer {
+            dangling = true;
+            out.push(
+                Diagnostic::new(
+                    codes::DANGLING_EDGE,
+                    Severity::Error,
+                    format!(
+                        "dependency edge #{i} loops vertex {} onto itself",
+                        e.provider
+                    ),
+                )
+                .at_vertex(e.provider),
+            );
+        }
+    }
+    if dangling {
+        // `execution_order` indexes edge endpoints unchecked; with dangling
+        // edges present the remaining graph-shape checks are meaningless.
+        return false;
+    }
+
+    if gq.execution_order().is_none() {
+        out.push(Diagnostic::new(
+            codes::CYCLIC_DEPENDENCY,
+            Severity::Error,
+            "the dependency edges form a cycle: no execution order exists",
+        ));
+        return false;
+    }
+
+    for (v, spoc) in gq.vertices.iter().enumerate() {
+        if spoc.subject.is_empty() && spoc.object.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    codes::EMPTY_QUAD,
+                    Severity::Error,
+                    "both the subject and the object slot are empty: \
+                     the quad matches nothing",
+                )
+                .at_vertex(v),
+            );
+        }
+    }
+
+    // Counting and reasoning questions name an answer variable; without an
+    // `answer_role` the executor falls back to the last vertex in execution
+    // order, which may not be what the question asked about.
+    if gq.question_type != QuestionType::Judgment
+        && !gq.vertices.iter().any(|s| s.answer_role.is_some())
+    {
+        out.push(Diagnostic::new(
+            codes::UNBOUND_ANSWER_SLOT,
+            Severity::Warning,
+            format!(
+                "no vertex of this {} question marks an answer slot; \
+                 the executor will guess the last quad in execution order",
+                gq.question_type.name().to_lowercase()
+            ),
+        ));
+    }
+
+    // A quad whose answers never flow (transitively) into the answer
+    // vertex does not influence the result. Judgment questions are exempt:
+    // conjoined clauses are legitimately disconnected and every conjunct
+    // contributes to the verdict.
+    if gq.question_type != QuestionType::Judgment && n > 1 {
+        let answer = gq.answer_vertex();
+        let mut reaches = vec![false; n];
+        reaches[answer] = true;
+        // Mark ancestors of the answer vertex by walking edges backwards
+        // until a fixpoint (n passes bound the longest chain).
+        for _ in 0..n {
+            let mut changed = false;
+            for e in &gq.edges {
+                if reaches[e.consumer] && !reaches[e.provider] {
+                    reaches[e.provider] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (v, reached) in reaches.iter().enumerate() {
+            if !reached {
+                out.push(
+                    Diagnostic::new(
+                        codes::UNREACHABLE_QUAD,
+                        Severity::Warning,
+                        format!(
+                            "quad {v}'s answers never reach the answer vertex \
+                             (vertex {answer}): it cannot influence the result"
+                        ),
+                    )
+                    .at_vertex(v),
+                );
+            }
+        }
+    }
+
+    true
+}
+
+/// Which consumer slot a dependency kind binds (Algorithm 3's replacement
+/// table: `X2Y` replaces the consumer's slot `X`).
+pub(crate) fn bound_slot(dep: Dependency) -> Slot {
+    match dep {
+        Dependency::S2S | Dependency::S2O => Slot::Subject,
+        Dependency::O2S | Dependency::O2O => Slot::Object,
+    }
+}

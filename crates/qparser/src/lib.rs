@@ -25,6 +25,7 @@
 //! consumer's SPOC slot being replaced, the second the provider's answer
 //! side being written into it.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

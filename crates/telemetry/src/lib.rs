@@ -32,6 +32,8 @@
 //! let _ = global(); // the process-wide recorder used by `Span::enter`
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod exposition;
 mod histogram;
 mod http;
@@ -68,6 +70,10 @@ pub mod stage {
     pub const AGGREGATE: &str = "aggregate";
     /// Scene-graph generation per image (`vision::sgg`, build time).
     pub const SGG: &str = "sgg";
+    /// Static analysis of the query graph before execution (`qlint`).
+    /// Deliberately not part of [`PIPELINE`]: it is a gate in front of the
+    /// paper's Fig. 2 stages, not one of them.
+    pub const LINT: &str = "lint";
 
     /// The five per-question pipeline stages, in paper order.
     pub const PIPELINE: [&str; 5] = [PARSE, DECOMPOSE, SCHEDULE, MATCH, AGGREGATE];
@@ -97,6 +103,13 @@ pub mod counter {
     pub const SERVER_REJECTED: &str = "server_rejected";
     /// Requests that blew their deadline (answered with 504).
     pub const SERVER_DEADLINE_EXCEEDED: &str = "server_deadline_exceeded";
+    /// Malformed requests answered with 400 (bad body, missing fields).
+    pub const SERVER_REQUESTS_BAD: &str = "server_requests_bad";
+    /// Error-severity lint diagnostics (questions rejected before
+    /// execution).
+    pub const LINT_ERRORS: &str = "lint_errors";
+    /// Warning-severity lint diagnostics (executed anyway).
+    pub const LINT_WARNINGS: &str = "lint_warnings";
 }
 
 /// Well-known gauge names.

@@ -11,6 +11,8 @@ pub enum QueryOutcome {
     Answered,
     /// Rejected by the question parser.
     ParseError,
+    /// Parsed, but rejected by the query-graph linter before execution.
+    LintError,
     /// Parsed, but execution failed.
     ExecError,
 }
@@ -137,6 +139,7 @@ impl QueryTrace {
             match self.outcome {
                 QueryOutcome::Answered => "ok",
                 QueryOutcome::ParseError => "parse-error",
+                QueryOutcome::LintError => "lint-error",
                 QueryOutcome::ExecError => "exec-error",
             },
             fmt_ns(u64::try_from(self.total().as_nanos()).unwrap_or(u64::MAX)),

@@ -27,6 +27,7 @@
 //!   in Original and TDE mode;
 //! * [`eval`] — the Mean Recall@K (mR@K) metric of Exp-3.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bbox;

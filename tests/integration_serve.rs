@@ -142,16 +142,58 @@ fn exhausted_deadline_is_answered_with_504() {
 fn malformed_requests_get_4xx_not_a_hung_connection() {
     let (addr, handle) = start_server(ServeConfig::default());
 
-    let (status, _, _) = http(addr, "POST", "/ask", "this is not json");
+    let (status, _, body) = http(addr, "POST", "/ask", "this is not json");
     assert_eq!(status, 400);
-    let (status, _, _) = http(addr, "POST", "/ask", r#"{"no_question": 1}"#);
+    // Structured error body: a machine-readable code next to the message.
+    let err: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(err["code"].as_str(), Some("bad-json"), "{body}");
+    let (status, _, body) = http(addr, "POST", "/ask", r#"{"no_question": 1}"#);
     assert_eq!(status, 400);
+    let err: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(err["code"].as_str(), Some("missing-field"), "{body}");
     let (status, _, _) = http(addr, "GET", "/nope", "");
     assert_eq!(status, 404);
     // Wrong method on a known route is 405, not 404.
     let (status, head, _) = http(addr, "GET", "/ask", "");
     assert_eq!(status, 405);
     assert!(head.contains("Allow"), "{head}");
+
+    // Malformed traffic shows up in the metrics exposition.
+    let (status, _, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("svqa_server_requests_bad_total"), "{body}");
+
+    shutdown_and_join(addr, handle);
+}
+
+#[test]
+fn lint_rejected_question_gets_400_with_diagnostics_and_server_stays_up() {
+    let (addr, handle) = start_server(ServeConfig::default());
+
+    // A typo'd predicate is refused at the door — no worker slot burnt —
+    // with the full diagnostics in the body, suggestion included.
+    let request = r#"{"question": "Is the dog weering the hat?"}"#;
+    let (status, _, body) = http(addr, "POST", "/ask", request);
+    assert_eq!(status, 400, "{body}");
+    let rejected: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(rejected["code"].as_str(), Some("lint-rejected"), "{body}");
+    let diagnostics = rejected["diagnostics"].as_array().expect("diagnostics array");
+    assert!(
+        diagnostics
+            .iter()
+            .any(|d| d["code"].as_str() == Some("unknown-predicate")
+                && d["suggestion"].as_str() == Some("wear")),
+        "{body}"
+    );
+
+    // The service is healthy afterwards and still answers clean questions.
+    let (status, _, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, _, body) =
+        http(addr, "POST", "/ask", r#"{"question": "Is the dog wearing the hat?"}"#);
+    assert_eq!(status, 200, "{body}");
+    let answered: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(answered["answer_text"].as_str().is_some(), "{body}");
 
     shutdown_and_join(addr, handle);
 }
