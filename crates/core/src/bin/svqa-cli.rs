@@ -55,13 +55,15 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("serve-metrics") => cmd_serve_metrics(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: svqa-cli <build|ask|explain|lint|eval|repl|stats|serve|serve-metrics> \
+                "usage: svqa-cli <build|ask|explain|lint|eval|repl|stats|serve|serve-metrics|chaos> \
                  [--images N] [--seed S] [--out DIR] [--world DIR] [--metrics FILE] \
                  [--corpus FILE] [--explain] [--json] [--trace-out FILE] [--profile-out FILE] \
                  [--port N] [--workers N] [--queue-depth N] [--deadline-ms N] \
-                 [--cache-pool N] [--cache-shards N] [--verbose] [question]"
+                 [--cache-pool N] [--cache-shards N] [--fault-plan FILE] [--fault-seed S] \
+                 [--rates R1,R2,...] [--verbose] [question]"
             );
             return ExitCode::FAILURE;
         }
@@ -79,7 +81,7 @@ type AnyError = Box<dyn std::error::Error>;
 
 /// Flags that consume the following argument as their value. Anything else
 /// starting with `--` is a boolean switch (`--explain`, `--verbose`, …).
-const VALUE_FLAGS: [&str; 14] = [
+const VALUE_FLAGS: [&str; 17] = [
     "--images",
     "--seed",
     "--out",
@@ -94,6 +96,9 @@ const VALUE_FLAGS: [&str; 14] = [
     "--deadline-ms",
     "--cache-pool",
     "--cache-shards",
+    "--fault-plan",
+    "--fault-seed",
+    "--rates",
 ];
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -428,12 +433,111 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     });
     eprintln!("building the merged graph...");
     let system = Svqa::build(&mvqa.images, &mvqa.kg, config);
+    // Arm the fault plan only after the build: chaos targets the online
+    // phase, not world construction.
+    let fault_guard = match flag(args, "--fault-plan") {
+        Some(path) => {
+            let plan = svqa::fault::FaultPlan::from_json(&std::fs::read_to_string(&path)?)?;
+            eprintln!("fault plan armed from {path} (seed {})", plan.seed);
+            Some(svqa::fault::install(plan))
+        }
+        None => None,
+    };
     let server = svqa::QueryServer::bind(system, &format!("127.0.0.1:{port}"), serve_config)?;
     let addr = server.local_addr()?;
     println!("serving on http://{addr}");
     println!("  POST /ask, /batch, /shutdown; GET /healthz, /metrics");
     server.serve()?;
+    drop(fault_guard);
     println!("drained, exiting");
+    Ok(())
+}
+
+/// `chaos` — measure graceful degradation: build a world once, then sweep
+/// fault rates, each time installing a seeded plan that drops the
+/// knowledge-graph source with the given probability and re-scoring every
+/// generated question through `answer_guarded`. Writes the
+/// accuracy-vs-fault-rate curve to `--out` (default
+/// `results/chaos_s<fault-seed>.json`).
+///
+/// The same `--fault-seed` across rates makes the fault sets *nested*: a
+/// question whose KG probe fails at rate r also fails at every rate above
+/// r, so the degraded-question count is exactly monotone in the rate and
+/// the curve is reproducible run to run. The circuit breaker is disabled
+/// for the sweep (threshold `u32::MAX`) so the curve measures the pure
+/// per-question policy, not wall-clock-dependent breaker dynamics.
+fn cmd_chaos(args: &[String]) -> Result<(), AnyError> {
+    let images: usize = flag(args, "--images").map_or(Ok(120), |s| s.parse())?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4d56_5141), |s| s.parse())?;
+    let fault_seed: u64 = flag(args, "--fault-seed").map_or(Ok(0xc4a05), |s| s.parse())?;
+    let deadline_ms: u64 = flag(args, "--deadline-ms").map_or(Ok(2000), |s| s.parse())?;
+    let rates: Vec<f64> = match flag(args, "--rates") {
+        Some(list) => list
+            .split(',')
+            .map(|r| r.trim().parse())
+            .collect::<Result<_, _>>()?,
+        None => vec![0.0, 0.05, 0.1, 0.2, 0.35, 0.5],
+    };
+    let out = PathBuf::from(
+        flag(args, "--out").unwrap_or_else(|| format!("results/chaos_s{fault_seed}.json")),
+    );
+
+    eprintln!("generating {images} images (seed {seed})...");
+    let mvqa = Mvqa::generate(MvqaConfig {
+        image_count: images,
+        seed,
+        counts: QuestionCounts::default(),
+    });
+    eprintln!("building the merged graph...");
+    let mut config = SvqaConfig::default();
+    config.degrade.breaker.failure_threshold = u32::MAX;
+    let system = Svqa::build(&mvqa.images, &mvqa.kg, config);
+    let per_question = std::time::Duration::from_millis(deadline_ms);
+
+    let baseline = svqa::evaluate_on_mvqa_guarded(&system, &mvqa, per_question);
+    println!(
+        "baseline (no plan): accuracy {:.1}% over {} questions",
+        baseline.overall * 100.0,
+        mvqa.questions.len()
+    );
+
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in &rates {
+        let plan = svqa::fault::FaultPlan::new(fault_seed).with_fault(
+            svqa::fault::site::SOURCE_KG,
+            svqa::fault::SiteFault::new(svqa::fault::FaultKind::DropResult, rate),
+        );
+        let guard = svqa::fault::install(plan);
+        let outcome = svqa::evaluate_on_mvqa_guarded(&system, &mvqa, per_question);
+        drop(guard);
+        println!(
+            "rate {rate:5.2}: accuracy {:6.1}%  full {:4}  degraded {:4}  unavailable {:4}",
+            outcome.overall * 100.0,
+            outcome.full,
+            outcome.degraded,
+            outcome.unavailable
+        );
+        points.push(serde_json::json!({ "rate": rate, "outcome": outcome }));
+    }
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "images": images,
+            "seed": seed,
+            "fault_seed": fault_seed,
+            "fault_site": svqa::fault::site::SOURCE_KG,
+            "fault_kind": "DropResult",
+            "questions": mvqa.questions.len(),
+            "deadline_ms": deadline_ms,
+            "baseline": baseline,
+            "points": points,
+        }))?,
+    )?;
+    println!("chaos curve written to {}", out.display());
     Ok(())
 }
 

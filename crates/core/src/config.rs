@@ -18,6 +18,9 @@ pub struct SvqaConfig {
     pub executor: ExecutorConfig,
     /// Multi-query scheduling and caching (§V-B).
     pub scheduler: SchedulerConfig,
+    /// Failure handling: circuit-breaker, retry, and partial-answer tuning
+    /// used by `Svqa::answer_guarded` and `svqa serve`.
+    pub degrade: svqa_fault::DegradePolicy,
 }
 
 /// Serializable summary of a configuration, for experiment reports.

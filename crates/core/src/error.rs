@@ -16,6 +16,15 @@ pub enum SvqaError {
     Lint(LintReport),
     /// The query graph could not be executed (§V).
     Exec(ExecError),
+    /// Every evidence source is unavailable (all circuit breakers open):
+    /// not even a degraded answer is possible. Servers map this to 503.
+    Unavailable {
+        /// Names of the unavailable sources.
+        missing: Vec<String>,
+        /// Suggested client backoff before retrying, in milliseconds (the
+        /// longest remaining breaker cooldown).
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for SvqaError {
@@ -30,6 +39,14 @@ impl fmt::Display for SvqaError {
                 Ok(())
             }
             SvqaError::Exec(e) => write!(f, "query execution failed: {e}"),
+            SvqaError::Unavailable {
+                missing,
+                retry_after_ms,
+            } => write!(
+                f,
+                "no evidence source available (missing: {}; retry after {retry_after_ms}ms)",
+                missing.join(", ")
+            ),
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::pipeline::Svqa;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use svqa_dataset::mvqa::{Mvqa, PredictedAnswer};
 use svqa_executor::Answer;
 
@@ -78,6 +78,67 @@ pub fn evaluate_on_mvqa(system: &Svqa, mvqa: &Mvqa) -> EvalOutcome {
         p50_latency: percentile(&outcome.per_query, 0.50),
         p95_latency: percentile(&outcome.per_query, 0.95),
         parse_failures,
+    }
+}
+
+/// Outcome of a guarded (chaos) evaluation pass: accuracy plus how the
+/// degradation policy resolved each question. Produced by
+/// [`evaluate_on_mvqa_guarded`] and serialized into `svqa-cli chaos`
+/// curve files.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GuardedEvalOutcome {
+    /// Overall accuracy over every question (degraded answers included —
+    /// that is the point of measuring under chaos).
+    pub overall: f64,
+    /// Questions answered with both sources available.
+    pub full: usize,
+    /// Questions answered from a partial view (`AnswerStatus::Degraded`).
+    pub degraded: usize,
+    /// Questions refused because every source was down
+    /// (`SvqaError::Unavailable`).
+    pub unavailable: usize,
+    /// Questions that failed for any other reason (parse, lint, exec).
+    pub failed: usize,
+}
+
+/// Run every MVQA question through [`Svqa::answer_guarded`] under the
+/// currently installed fault plan (if any) and score the results. Each
+/// question gets a fresh deadline of `per_question` from its start.
+pub fn evaluate_on_mvqa_guarded(
+    system: &Svqa,
+    mvqa: &Mvqa,
+    per_question: Duration,
+) -> GuardedEvalOutcome {
+    let mut predicted: Vec<Option<PredictedAnswer>> = Vec::with_capacity(mvqa.questions.len());
+    let (mut full, mut degraded, mut unavailable, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    for q in &mvqa.questions {
+        let deadline = Instant::now() + per_question;
+        match system.answer_guarded(&q.question, None, Some(deadline)) {
+            Ok(g) => {
+                if g.status.is_degraded() {
+                    degraded += 1;
+                } else {
+                    full += 1;
+                }
+                predicted.push(to_predicted(&g.answer));
+            }
+            Err(crate::SvqaError::Unavailable { .. }) => {
+                unavailable += 1;
+                predicted.push(None);
+            }
+            Err(_) => {
+                failed += 1;
+                predicted.push(None);
+            }
+        }
+    }
+    let (_, _, _, overall) = mvqa.score_answers(&predicted);
+    GuardedEvalOutcome {
+        overall,
+        full,
+        degraded,
+        unavailable,
+        failed,
     }
 }
 

@@ -42,20 +42,23 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod degrade;
 pub mod error;
 pub mod eval;
 pub mod pipeline;
 pub mod serve;
 
 pub use config::SvqaConfig;
+pub use degrade::{AnswerStatus, Breakers, GuardedAnswer};
 pub use error::SvqaError;
-pub use eval::{evaluate_on_mvqa, EvalOutcome};
+pub use eval::{evaluate_on_mvqa, evaluate_on_mvqa_guarded, EvalOutcome, GuardedEvalOutcome};
 pub use pipeline::{BatchOutcome, BuildStats, Svqa};
 pub use serve::{QueryServer, ServeConfig};
 
 // Re-export the subsystem crates so downstream users need a single
 // dependency.
 pub use svqa_aggregator as aggregator;
+pub use svqa_fault as fault;
 pub use svqa_baselines as baselines;
 pub use svqa_dataset as dataset;
 pub use svqa_executor as executor;

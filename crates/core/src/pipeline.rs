@@ -1,8 +1,14 @@
 //! The end-to-end SVQA pipeline (Fig. 2 of the paper).
 
 use crate::config::SvqaConfig;
+use crate::degrade::{
+    execute_with_retry, filter_view, probe_source, AnswerStatus, Breakers, GuardedAnswer,
+    ProbeOutcome,
+};
 use crate::error::SvqaError;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+use svqa_fault::{BreakerState, Source};
 use svqa_aggregator::DataAggregator;
 use svqa_executor::cache::ShardedCache;
 use svqa_executor::executor::QueryGraphExecutor;
@@ -81,6 +87,14 @@ pub struct Svqa {
     /// schema; every `answer*` path runs it before the executor and
     /// short-circuits error-severity findings.
     linter: Linter,
+    /// Per-source circuit breakers for [`answer_guarded`](Self::answer_guarded).
+    breakers: Breakers,
+    /// Lazily-built merged-graph view without KG vertices (scene evidence
+    /// only), for degraded execution when the KG breaker is open.
+    scene_view: OnceLock<Graph>,
+    /// Lazily-built merged-graph view without scene vertices (KG evidence
+    /// only).
+    kg_view: OnceLock<Graph>,
 }
 
 impl Svqa {
@@ -109,6 +123,7 @@ impl Svqa {
             merge_time,
         };
         let linter = Linter::new(Schema::extract(&merged.graph));
+        let breakers = Breakers::new(&config.degrade);
         Svqa {
             config,
             merged: merged.graph,
@@ -117,6 +132,9 @@ impl Svqa {
             sgg,
             kg_vertex_count: kg.vertex_count(),
             linter,
+            breakers,
+            scene_view: OnceLock::new(),
+            kg_view: OnceLock::new(),
         }
     }
 
@@ -163,6 +181,10 @@ impl Svqa {
         // The new evidence may introduce categories/predicates the old
         // schema has never seen; re-extract so the linter stays truthful.
         self.linter = Linter::new(Schema::extract(&self.merged));
+        // Degraded views were built from the pre-ingestion graph; drop
+        // them so the next guarded answer sees the new evidence.
+        self.scene_view = OnceLock::new();
+        self.kg_view = OnceLock::new();
         links
     }
 
@@ -255,6 +277,120 @@ impl Svqa {
         })();
         count_outcome(&result);
         result
+    }
+
+    /// Answer a question under the failure-handling policy: per-source
+    /// circuit breakers, bounded retries for transient faults, and partial
+    /// answers from the surviving sources.
+    ///
+    /// * Both sources up → executes against the full merged graph and
+    ///   returns [`AnswerStatus::Full`].
+    /// * One source down (probe failed past the retry budget, or its
+    ///   breaker already open) → executes against the surviving source's
+    ///   filtered view and returns [`AnswerStatus::Degraded`]. The shared
+    ///   `cache` is bypassed for degraded runs: cached ids refer to the
+    ///   full merged graph.
+    /// * Both sources down → [`SvqaError::Unavailable`] with a
+    ///   `Retry-After` hint (the longest remaining breaker cooldown).
+    ///
+    /// `deadline` bounds injected latency stalls and retry backoff; the
+    /// query server derives it from the request's `deadline_ms`.
+    pub fn answer_guarded(
+        &self,
+        question: &str,
+        cache: Option<&ShardedCache>,
+        deadline: Option<Instant>,
+    ) -> Result<GuardedAnswer, SvqaError> {
+        let result = self.answer_guarded_inner(question, cache, deadline);
+        count_outcome(&result);
+        result
+    }
+
+    fn answer_guarded_inner(
+        &self,
+        question: &str,
+        cache: Option<&ShardedCache>,
+        deadline: Option<Instant>,
+    ) -> Result<GuardedAnswer, SvqaError> {
+        let gq = self.parse(question)?;
+        self.lint_gate(&gq)?;
+        let policy = &self.config.degrade;
+        let mut missing: Vec<Source> = Vec::new();
+        let mut retry_after_ms = policy.breaker.cooldown_ms;
+        for source in Source::ALL {
+            match probe_source(&self.breakers, policy, source, deadline) {
+                ProbeOutcome::Available => {}
+                ProbeOutcome::Down => missing.push(source),
+                ProbeOutcome::Rejected {
+                    retry_after_ms: ms,
+                } => {
+                    missing.push(source);
+                    retry_after_ms = retry_after_ms.max(ms);
+                }
+            }
+        }
+        self.breakers.publish_gauges();
+        if missing.len() == Source::ALL.len() {
+            return Err(SvqaError::Unavailable {
+                missing: missing.iter().map(|s| s.name().to_owned()).collect(),
+                retry_after_ms,
+            });
+        }
+        if missing.is_empty() {
+            let executor = QueryGraphExecutor::with_config(&self.merged, self.config.executor);
+            let answer = execute_with_retry(&policy.retry, deadline, || {
+                executor.execute_cached(&gq, cache).map(|(a, _)| a)
+            })?;
+            return Ok(GuardedAnswer {
+                answer,
+                status: AnswerStatus::Full,
+            });
+        }
+        let view = match missing[0] {
+            Source::Kg => self.scene_view(),
+            Source::Scene => self.kg_view(),
+        };
+        let executor = QueryGraphExecutor::with_config(view, self.config.executor);
+        let answer = execute_with_retry(&policy.retry, deadline, || {
+            executor.execute_cached(&gq, None).map(|(a, _)| a)
+        })?;
+        global().incr_counter(counter::ANSWERS_DEGRADED);
+        Ok(GuardedAnswer {
+            answer,
+            status: AnswerStatus::Degraded {
+                missing_sources: missing.iter().map(|s| s.name().to_owned()).collect(),
+                confidence_penalty: (policy.confidence_penalty * missing.len() as f64).min(1.0),
+            },
+        })
+    }
+
+    /// The scene-only view of the merged graph (KG vertices filtered out),
+    /// built on first use.
+    fn scene_view(&self) -> &Graph {
+        self.scene_view
+            .get_or_init(|| filter_view(&self.merged, |i| i >= self.kg_vertex_count))
+    }
+
+    /// The KG-only view (scene vertices filtered out), built on first use.
+    fn kg_view(&self) -> &Graph {
+        self.kg_view
+            .get_or_init(|| filter_view(&self.merged, |i| i < self.kg_vertex_count))
+    }
+
+    /// The per-source circuit breakers guarding this system.
+    pub fn breakers(&self) -> &Breakers {
+        &self.breakers
+    }
+
+    /// Current breaker state per source, in [`Source::ALL`] order.
+    pub fn breaker_states(&self) -> Vec<(Source, BreakerState)> {
+        self.breakers.states()
+    }
+
+    /// Overall source health: `"ok"`, `"degraded"`, or `"unhealthy"` (see
+    /// [`Breakers::health`]).
+    pub fn health_status(&self) -> &'static str {
+        self.breakers.health()
     }
 
     /// Answer a single question with a caller-provided shared cache.

@@ -39,10 +39,12 @@
 //! §V-B key-centric cache doing its job across requests instead of only
 //! within a batch.
 
+use crate::degrade::AnswerStatus;
 use crate::error::SvqaError;
 use crate::pipeline::Svqa;
 use std::collections::VecDeque;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -260,10 +262,19 @@ impl QueryServer {
 
     fn handle_healthz(&self) -> Response {
         let stats = self.system.build_stats();
+        let mut sources = serde_json::Map::new();
+        for (source, state) in self.system.breaker_states() {
+            sources.insert(
+                source.name().to_owned(),
+                serde_json::Value::String(state.name().to_owned()),
+            );
+        }
         Response::json(
             200,
             serde_json::to_string(&serde_json::json!({
-                "status": "ok",
+                "status": self.system.health_status(),
+                "sources": serde_json::Value::Object(sources),
+                "fault_plan_armed": svqa_fault::active().is_some(),
                 "merged_vertices": stats.merged_vertices,
                 "merged_edges": stats.merged_edges,
                 "workers": self.config.workers.max(1),
@@ -382,35 +393,83 @@ impl QueryServer {
 
     fn worker_loop(&self) {
         while let Some(job) = self.queue.pop() {
+            let Job {
+                work,
+                deadline,
+                reply,
+            } = job;
+            let fault = svqa_fault::draw(svqa_fault::site::SERVE_WORKER);
+            if fault == Some(svqa_fault::FaultKind::DropResult) {
+                // The worker "loses" the job: the reply channel drops
+                // unanswered and the connection thread observes
+                // `Disconnected` (500, "worker dropped the request").
+                continue;
+            }
             // Queued past its deadline: skip the work. The connection
             // thread owns the deadline-exceeded counter (it may already
             // have timed out on its own), so just reply 504.
-            let response = if Instant::now() >= job.deadline {
+            let response = if Instant::now() >= deadline {
                 deadline_response()
             } else {
-                match &job.work {
-                    Work::Ask(question) => self.answer_one(question),
-                    Work::Batch(questions) => self.answer_many(questions),
+                if let Some(svqa_fault::FaultKind::Latency(ms)) = fault {
+                    svqa_fault::apply_latency(ms, Some(deadline));
                 }
+                // A panic while answering (injected or genuine) must not
+                // shrink the worker pool: catch it, count it, reply 500,
+                // and keep this thread in the loop.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if fault == Some(svqa_fault::FaultKind::Error) {
+                        panic!("injected fault: serve.worker");
+                    }
+                    match &work {
+                        Work::Ask(question) => self.answer_one(question, deadline),
+                        Work::Batch(questions) => self.answer_many(questions),
+                    }
+                }));
+                run.unwrap_or_else(|_| {
+                    global().incr_counter(counter::SERVER_WORKER_PANICS);
+                    Response::json(500, "{\"error\": \"internal panic while answering\"}")
+                })
             };
             // The receiver may have timed out and gone — not an error.
-            let _ = job.reply.send(response);
+            let _ = reply.send(response);
         }
     }
 
-    fn answer_one(&self, question: &str) -> Response {
-        let (result, trace) = self.system.answer_traced(question, Some(&self.cache));
+    fn answer_one(&self, question: &str, deadline: Instant) -> Response {
+        let before = self.cache.stats();
+        let result = self
+            .system
+            .answer_guarded(question, Some(&self.cache), Some(deadline));
+        let cache = self.cache.stats().delta_since(&before);
         match result {
-            Ok(answer) => Response::json(
-                200,
-                serde_json::to_string(&serde_json::json!({
-                    "question": question,
-                    "answer": answer,
-                    "answer_text": answer.to_string(),
-                    "cache": trace.cache,
-                }))
-                .expect("answer serialization is infallible"),
-            ),
+            Ok(guarded) => {
+                let body = match &guarded.status {
+                    AnswerStatus::Full => serde_json::json!({
+                        "question": question,
+                        "answer": guarded.answer,
+                        "answer_text": guarded.answer.to_string(),
+                        "status": guarded.status.label(),
+                        "cache": cache,
+                    }),
+                    AnswerStatus::Degraded {
+                        missing_sources,
+                        confidence_penalty,
+                    } => serde_json::json!({
+                        "question": question,
+                        "answer": guarded.answer,
+                        "answer_text": guarded.answer.to_string(),
+                        "status": guarded.status.label(),
+                        "missing_sources": missing_sources,
+                        "confidence_penalty": confidence_penalty,
+                        "cache": cache,
+                    }),
+                };
+                Response::json(
+                    200,
+                    serde_json::to_string(&body).expect("answer serialization is infallible"),
+                )
+            }
             Err(e) => error_response(&e),
         }
     }
@@ -460,13 +519,22 @@ fn bad_request(code: &str, message: &str) -> Response {
 }
 
 fn deadline_response() -> Response {
-    Response::json(504, "{\"error\": \"deadline exceeded\"}")
+    // A 504 means the service was too slow for *this* deadline, not that it
+    // is down — tell the client when trying again is reasonable.
+    Response::json(504, "{\"error\": \"deadline exceeded\"}").with_header("Retry-After", "1")
+}
+
+/// `Retry-After` seconds for an `Unavailable` error: the longest remaining
+/// breaker cooldown, rounded up, never below 1 s.
+fn retry_after_secs(retry_after_ms: u64) -> u64 {
+    retry_after_ms.div_ceil(1000).max(1)
 }
 
 fn error_response(e: &SvqaError) -> Response {
     let status = match e {
         SvqaError::Parse(_) | SvqaError::Lint(_) => 400,
         SvqaError::Exec(_) => 500,
+        SvqaError::Unavailable { .. } => 503,
     };
     if status == 400 {
         global().incr_counter(counter::SERVER_REQUESTS_BAD);
@@ -479,12 +547,26 @@ fn error_response(e: &SvqaError) -> Response {
             "code": "lint-rejected",
             "diagnostics": report.diagnostics,
         }),
+        SvqaError::Unavailable {
+            missing,
+            retry_after_ms,
+        } => serde_json::json!({
+            "error": e.to_string(),
+            "code": "unavailable",
+            "missing_sources": missing,
+            "retry_after_ms": retry_after_ms,
+        }),
         _ => serde_json::json!({ "error": e.to_string() }),
     };
-    Response::json(
+    let response = Response::json(
         status,
         serde_json::to_string(&body).expect("error serialization is infallible"),
-    )
+    );
+    if let SvqaError::Unavailable { retry_after_ms, .. } = e {
+        response.with_header("Retry-After", &retry_after_secs(*retry_after_ms).to_string())
+    } else {
+        response
+    }
 }
 
 #[cfg(test)]

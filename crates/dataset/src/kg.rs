@@ -74,18 +74,37 @@ pub const CHARACTER_RELATIONS: &[(&str, &str, &str)] = &[
 pub fn build_knowledge_graph() -> Graph {
     let mut b = GraphBuilder::new();
     for &(cat, class) in CATEGORY_CLASSES {
-        b.triple(cat, "is a", class);
+        fault_triple(&mut b, cat, "is a", class);
     }
     for &(sub, sup) in CLASS_HIERARCHY {
-        b.triple(sub, "is a", sup);
+        fault_triple(&mut b, sub, "is a", sup);
     }
     for &name in CHARACTERS {
-        b.triple(name, "is a", "wizard");
+        fault_triple(&mut b, name, "is a", "wizard");
     }
     for &(s, r, o) in CHARACTER_RELATIONS {
-        b.triple(s, r, o);
+        fault_triple(&mut b, s, r, o);
     }
     b.build()
+}
+
+/// Add a triple through the `kg.triple` fault gate (one draw per triple).
+/// KG construction is infallible, so `Error` degrades to a dropped triple;
+/// `CorruptLabel` rewrites the relation to a semantically dead label.
+fn fault_triple(b: &mut GraphBuilder, s: &str, r: &str, o: &str) {
+    match svqa_fault::draw(svqa_fault::site::KG_TRIPLE) {
+        Some(svqa_fault::FaultKind::Error | svqa_fault::FaultKind::DropResult) => {}
+        Some(svqa_fault::FaultKind::Latency(ms)) => {
+            svqa_fault::apply_latency(ms, None);
+            b.triple(s, r, o);
+        }
+        Some(svqa_fault::FaultKind::CorruptLabel) => {
+            b.triple(s, "unrelated to", o);
+        }
+        None => {
+            b.triple(s, r, o);
+        }
+    }
 }
 
 #[cfg(test)]

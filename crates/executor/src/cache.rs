@@ -383,23 +383,50 @@ impl ShardedCache {
         &self.shards[self.shard_index(key)]
     }
 
+    /// Injection gate shared by the four cache entry points. Lookups and
+    /// inserts are infallible, so `Error` and `DropResult` both degrade to
+    /// "the cache did nothing" (forced miss / dropped insert); `Latency`
+    /// stalls the caller; `CorruptLabel` has no cache meaning and is inert.
+    fn faulted(site: &'static str) -> bool {
+        match svqa_fault::draw(site) {
+            Some(svqa_fault::FaultKind::Error | svqa_fault::FaultKind::DropResult) => true,
+            Some(svqa_fault::FaultKind::Latency(ms)) => {
+                svqa_fault::apply_latency(ms, None);
+                false
+            }
+            Some(svqa_fault::FaultKind::CorruptLabel) | None => false,
+        }
+    }
+
     /// Look up a scope item in the key's shard.
     pub fn scope_get(&self, key: &str) -> Option<Arc<Vec<VertexId>>> {
+        if Self::faulted(svqa_fault::site::CACHE_GET) {
+            return None;
+        }
         self.shard(key).lock().scope_get(key)
     }
 
     /// Store a scope item in the key's shard.
     pub fn scope_put(&self, key: &str, value: Arc<Vec<VertexId>>) {
+        if Self::faulted(svqa_fault::site::CACHE_PUT) {
+            return;
+        }
         self.shard(key).lock().scope_put(key, value);
     }
 
     /// Look up a path item in the key's shard.
     pub fn path_get(&self, key: &str) -> Option<Arc<Vec<RelationPair>>> {
+        if Self::faulted(svqa_fault::site::CACHE_GET) {
+            return None;
+        }
         self.shard(key).lock().path_get(key)
     }
 
     /// Store a path item in the key's shard.
     pub fn path_put(&self, key: &str, value: Arc<Vec<RelationPair>>) {
+        if Self::faulted(svqa_fault::site::CACHE_PUT) {
+            return;
+        }
         self.shard(key).lock().path_put(key, value);
     }
 

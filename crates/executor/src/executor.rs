@@ -61,6 +61,9 @@ pub enum ExecError {
     EmptyQueryGraph,
     /// The dependency edges form a cycle.
     CyclicQueryGraph,
+    /// An installed `FaultPlan` failed this execution (transient from the
+    /// caller's point of view: the degradation policy may retry it).
+    Injected,
 }
 
 impl fmt::Display for ExecError {
@@ -68,6 +71,7 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::EmptyQueryGraph => write!(f, "empty query graph"),
             ExecError::CyclicQueryGraph => write!(f, "cyclic query graph"),
+            ExecError::Injected => write!(f, "injected fault (relation scan)"),
         }
     }
 }
@@ -333,12 +337,30 @@ impl<'g> QueryGraphExecutor<'g> {
                     let obj_slice = objs.as_ref().map(|v| v.as_slice());
                     traces[u].sub_count = sub_slice.map_or(0, <[VertexId]>::len);
                     traces[u].obj_count = obj_slice.map_or(0, <[VertexId]>::len);
-                    let (rp, scanned) = match (sub_slice, obj_slice) {
-                        (Some(s), Some(o)) => self.matcher.relations_between_counted(s, o),
-                        (Some(s), None) => self.matcher.relations_around_counted(s, true),
-                        (None, Some(o)) => self.matcher.relations_around_counted(o, false),
-                        (None, None) => (Vec::new(), 0),
+                    let fault = svqa_fault::draw(svqa_fault::site::RELATION_SCAN);
+                    if fault == Some(svqa_fault::FaultKind::Error) {
+                        return Err(ExecError::Injected);
+                    }
+                    if let Some(svqa_fault::FaultKind::Latency(ms)) = fault {
+                        svqa_fault::apply_latency(ms, None);
+                    }
+                    let (mut rp, scanned) = if fault == Some(svqa_fault::FaultKind::DropResult) {
+                        (Vec::new(), 0)
+                    } else {
+                        match (sub_slice, obj_slice) {
+                            (Some(s), Some(o)) => self.matcher.relations_between_counted(s, o),
+                            (Some(s), None) => self.matcher.relations_around_counted(s, true),
+                            (None, Some(o)) => self.matcher.relations_around_counted(o, false),
+                            (None, None) => (Vec::new(), 0),
+                        }
                     };
+                    if fault == Some(svqa_fault::FaultKind::CorruptLabel) {
+                        // Corrupt the scan by reversing every relation's
+                        // direction — structurally valid, semantically wrong.
+                        for pair in &mut rp {
+                            std::mem::swap(&mut pair.sub, &mut pair.obj);
+                        }
+                    }
                     traces[u].edges_scanned = scanned;
                     let rp = Arc::new(rp);
                     if cacheable {

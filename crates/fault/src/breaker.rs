@@ -1,0 +1,277 @@
+//! Per-source circuit breakers: closed → open after N consecutive faults
+//! → half-open probe → closed again.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before letting one probe through.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 250,
+        }
+    }
+}
+
+// Manual impl so sparse JSON fills from `Self::default()` rather than the
+// per-type zero (a zero failure threshold would trip on the first fault).
+impl Deserialize for BreakerConfig {
+    fn from_value(v: &Value) -> Result<BreakerConfig, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("BreakerConfig: expected object"))?;
+        let mut out = BreakerConfig::default();
+        if let Some(x) = obj.get("failure_threshold") {
+            out.failure_threshold = Deserialize::from_value(x)?;
+        }
+        if let Some(x) = obj.get("cooldown_ms") {
+            out.cooldown_ms = Deserialize::from_value(x)?;
+        }
+        Ok(out)
+    }
+}
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation; failures are being counted.
+    Closed,
+    /// Tripped: callers are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe call is let through; its
+    /// outcome decides between `Closed` and another `Open` round.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for health payloads and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+
+    /// Gauge encoding: closed = 0, half-open = 1, open = 2.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+/// What [`CircuitBreaker::try_acquire`] decided for this call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquire {
+    /// Breaker closed: proceed normally.
+    Ready,
+    /// Breaker half-open and this caller won the probe slot: proceed, and
+    /// report the outcome — it decides whether the breaker recloses.
+    Probe,
+    /// Breaker open: do not call the source; retry after the hint.
+    Rejected {
+        /// How long until the breaker will allow a probe.
+        retry_after: Duration,
+    },
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { consecutive: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// A per-source circuit breaker.
+///
+/// Thread-safe; one instance per evidence source. Callers gate work on
+/// [`try_acquire`](CircuitBreaker::try_acquire) and report every outcome
+/// via [`record_success`](CircuitBreaker::record_success) /
+/// [`record_failure`](CircuitBreaker::record_failure).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner::Closed { consecutive: 0 }),
+        }
+    }
+
+    /// The tuning this breaker runs with.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// Gate a call on the breaker. `Rejected` means the source must not be
+    /// touched; `Probe` means this caller holds the single half-open slot
+    /// (concurrent acquirers are rejected until its outcome is recorded).
+    pub fn try_acquire(&self) -> Acquire {
+        let mut inner = self.inner.lock();
+        match *inner {
+            Inner::Closed { .. } => Acquire::Ready,
+            Inner::Open { until } => {
+                let now = Instant::now();
+                if now < until {
+                    Acquire::Rejected {
+                        retry_after: until - now,
+                    }
+                } else {
+                    *inner = Inner::HalfOpen;
+                    Acquire::Probe
+                }
+            }
+            // The probe slot is taken; hold the line until it reports.
+            Inner::HalfOpen => Acquire::Rejected {
+                retry_after: Duration::from_millis(self.config.cooldown_ms),
+            },
+        }
+    }
+
+    /// Report a successful call: resets the failure streak, and recloses
+    /// the breaker if this was the half-open probe.
+    pub fn record_success(&self) {
+        *self.inner.lock() = Inner::Closed { consecutive: 0 };
+    }
+
+    /// Report a failed call: extends the streak, trips the breaker at the
+    /// threshold, and reopens it if this was the half-open probe.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        let reopen = Instant::now() + Duration::from_millis(self.config.cooldown_ms);
+        match *inner {
+            Inner::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.config.failure_threshold {
+                    *inner = Inner::Open { until: reopen };
+                } else {
+                    *inner = Inner::Closed { consecutive };
+                }
+            }
+            Inner::HalfOpen => *inner = Inner::Open { until: reopen },
+            Inner::Open { .. } => {}
+        }
+    }
+
+    /// Trip the breaker open immediately (used when a source is known-dead,
+    /// e.g. its availability probe faulted hard).
+    pub fn force_open(&self) {
+        *self.inner.lock() = Inner::Open {
+            until: Instant::now() + Duration::from_millis(self.config.cooldown_ms),
+        };
+    }
+
+    /// The current state (open breakers whose cooldown has elapsed report
+    /// `HalfOpen`, matching what the next acquirer will see).
+    pub fn state(&self) -> BreakerState {
+        match *self.inner.lock() {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { until } => {
+                if Instant::now() < until {
+                    BreakerState::Open
+                } else {
+                    BreakerState::HalfOpen
+                }
+            }
+            Inner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ms: 20,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(fast());
+        assert_eq!(b.try_acquire(), Acquire::Ready);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Acquire::Ready);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(b.try_acquire(), Acquire::Rejected { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(fast());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(matches!(b.try_acquire(), Acquire::Rejected { .. }));
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // First acquirer wins the probe slot; a concurrent one is rejected.
+        assert_eq!(b.try_acquire(), Acquire::Probe);
+        assert!(matches!(b.try_acquire(), Acquire::Rejected { .. }));
+        // Failed probe → open again.
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.try_acquire(), Acquire::Probe);
+        // Successful probe → closed, streak reset.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Acquire::Ready);
+    }
+
+    #[test]
+    fn rejected_retry_after_is_bounded_by_cooldown() {
+        let b = CircuitBreaker::new(fast());
+        b.force_open();
+        match b.try_acquire() {
+            Acquire::Rejected { retry_after } => {
+                assert!(retry_after <= Duration::from_millis(20));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gauge_values_and_names() {
+        assert_eq!(BreakerState::Closed.gauge_value(), 0.0);
+        assert_eq!(BreakerState::HalfOpen.gauge_value(), 1.0);
+        assert_eq!(BreakerState::Open.gauge_value(), 2.0);
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+}

@@ -1,0 +1,176 @@
+//! Bounded retries with deterministic jittered exponential backoff.
+
+use crate::breaker::BreakerConfig;
+use crate::splitmix64;
+use serde::{Deserialize, Serialize, Value};
+use std::time::{Duration, Instant};
+
+/// Retry tuning: how many times, and how long between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = no retries).
+    pub max_retries: u32,
+    /// Base backoff in milliseconds; attempt `n` waits ~`base * 2^n`.
+    pub base_ms: u64,
+    /// Hard cap on a single backoff sleep, in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 2,
+            base_ms: 5,
+            max_ms: 100,
+        }
+    }
+}
+
+// Manual impl so sparse JSON fills from `Self::default()` rather than the
+// per-type zero (see `BreakerConfig`).
+impl Deserialize for RetryPolicy {
+    fn from_value(v: &Value) -> Result<RetryPolicy, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("RetryPolicy: expected object"))?;
+        let mut out = RetryPolicy::default();
+        if let Some(x) = obj.get("max_retries") {
+            out.max_retries = Deserialize::from_value(x)?;
+        }
+        if let Some(x) = obj.get("base_ms") {
+            out.base_ms = Deserialize::from_value(x)?;
+        }
+        if let Some(x) = obj.get("max_ms") {
+            out.max_ms = Deserialize::from_value(x)?;
+        }
+        Ok(out)
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based): exponential in the
+    /// attempt, capped at `max_ms`, with deterministic ±50% jitter derived
+    /// from `salt` — so a seeded chaos run reproduces its exact timing.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.max_ms);
+        let mut state = salt ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = splitmix64(&mut state);
+        // Jitter in [0.5, 1.5) of the exponential step.
+        let jitter = 0.5 + (r >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_micros((exp as f64 * 1000.0 * jitter) as u64)
+    }
+
+    /// Whether retry `attempt` (plus its backoff) fits before `deadline`.
+    /// With no deadline every budgeted retry fits.
+    pub fn fits(&self, attempt: u32, salt: u64, deadline: Option<Instant>) -> bool {
+        if attempt >= self.max_retries {
+            return false;
+        }
+        match deadline {
+            Some(d) => Instant::now() + self.backoff(attempt, salt) < d,
+            None => true,
+        }
+    }
+}
+
+/// The full degradation policy: breaker tuning plus retry tuning, carried
+/// in `SvqaConfig` so serve and eval share one knob set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DegradePolicy {
+    /// Per-source circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Transient-fault retry tuning.
+    pub retry: RetryPolicy,
+    /// Confidence penalty reported on degraded answers, per missing
+    /// source, in `[0, 1]`.
+    pub confidence_penalty: f64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> DegradePolicy {
+        DegradePolicy {
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+            confidence_penalty: 0.25,
+        }
+    }
+}
+
+impl Deserialize for DegradePolicy {
+    fn from_value(v: &Value) -> Result<DegradePolicy, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("DegradePolicy: expected object"))?;
+        let mut out = DegradePolicy::default();
+        if let Some(x) = obj.get("breaker") {
+            out.breaker = Deserialize::from_value(x)?;
+        }
+        if let Some(x) = obj.get("retry") {
+            out.retry = Deserialize::from_value(x)?;
+        }
+        if let Some(x) = obj.get("confidence_penalty") {
+            out.confidence_penalty = Deserialize::from_value(x)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_ms: 10,
+            max_ms: 40,
+        };
+        let b0 = p.backoff(0, 1);
+        let b3 = p.backoff(3, 1);
+        // Jitter is ±50%, so compare against the envelope.
+        assert!(b0 >= Duration::from_millis(5) && b0 < Duration::from_millis(15));
+        assert!(b3 >= Duration::from_millis(20) && b3 < Duration::from_millis(60));
+        // Huge attempt index must not overflow.
+        assert!(p.backoff(200, 1) < Duration::from_millis(60));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_in_salt() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1, 42), p.backoff(1, 42));
+        assert_ne!(p.backoff(1, 42), p.backoff(1, 43));
+    }
+
+    #[test]
+    fn fits_respects_budget_and_deadline() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base_ms: 5,
+            max_ms: 10,
+        };
+        assert!(p.fits(0, 7, None));
+        assert!(p.fits(1, 7, None));
+        assert!(!p.fits(2, 7, None), "out of retry budget");
+        let past = Instant::now();
+        assert!(!p.fits(0, 7, Some(past)), "expired deadline");
+        let far = Instant::now() + Duration::from_secs(5);
+        assert!(p.fits(0, 7, Some(far)));
+    }
+
+    #[test]
+    fn degrade_policy_round_trips_and_defaults() {
+        let policy = DegradePolicy::default();
+        assert_eq!(policy.breaker.failure_threshold, 3);
+        assert_eq!(policy.retry.max_retries, 2);
+        assert!(policy.confidence_penalty > 0.0);
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: DegradePolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(policy, back);
+        let sparse: DegradePolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, DegradePolicy::default());
+    }
+}

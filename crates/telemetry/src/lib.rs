@@ -110,12 +110,25 @@ pub mod counter {
     pub const LINT_ERRORS: &str = "lint_errors";
     /// Warning-severity lint diagnostics (executed anyway).
     pub const LINT_WARNINGS: &str = "lint_warnings";
+    /// Faults fired by an installed `FaultPlan` (`svqa-fault`).
+    pub const FAULTS_INJECTED: &str = "faults_injected";
+    /// Transient-fault retries performed by the degradation policy.
+    pub const FAULT_RETRIES: &str = "fault_retries";
+    /// Answers served in degraded mode (one or more sources missing).
+    pub const ANSWERS_DEGRADED: &str = "answers_degraded";
+    /// Worker-thread panics caught and converted to 500s (`svqa serve`).
+    pub const SERVER_WORKER_PANICS: &str = "server_worker_panics";
 }
 
 /// Well-known gauge names.
 pub mod gauge {
     /// Query-server requests admitted but not yet answered.
     pub const SERVER_REQUESTS_IN_FLIGHT: &str = "server_requests_in_flight";
+    /// Knowledge-graph-source breaker state (0 = closed, 1 = half-open,
+    /// 2 = open).
+    pub const BREAKER_STATE_KG: &str = "breaker_state_kg";
+    /// Scene-graph-source breaker state (same encoding).
+    pub const BREAKER_STATE_SCENE: &str = "breaker_state_scene";
 }
 
 /// Named hit/miss counters for the key-centric cache's two pools.

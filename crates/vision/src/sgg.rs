@@ -134,6 +134,25 @@ impl SceneGraphGenerator {
     /// Generate the scene graph of one image.
     pub fn generate(&self, image: &SyntheticImage) -> SceneGraphOutput {
         let _span = svqa_telemetry::Span::enter(svqa_telemetry::stage::SGG);
+        // Fault-plan gate, one draw per image. Generation is infallible, so
+        // `Error` degrades to an empty scene graph (the image yields
+        // nothing); `CorruptLabel` scrambles every edge predicate.
+        let fault = svqa_fault::draw(svqa_fault::site::SGG_GENERATE);
+        match fault {
+            Some(svqa_fault::FaultKind::Error | svqa_fault::FaultKind::DropResult) => {
+                return SceneGraphOutput {
+                    graph: Graph::new(),
+                    detections: Vec::new(),
+                    vertex_ids: Vec::new(),
+                    predictions: Vec::new(),
+                };
+            }
+            Some(svqa_fault::FaultKind::Latency(ms)) => {
+                svqa_fault::apply_latency(ms, None);
+            }
+            Some(svqa_fault::FaultKind::CorruptLabel) | None => {}
+        }
+        let corrupt_edges = fault == Some(svqa_fault::FaultKind::CorruptLabel);
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ u64::from(image.id));
         let detections = self.detector.detect(image, &mut rng);
 
@@ -192,6 +211,11 @@ impl SceneGraphGenerator {
         for (i, j, relation, score) in edges {
             let mut props = Properties::new();
             props.set("score", score);
+            let relation = if corrupt_edges {
+                (relation + 1) % RELATION_VOCAB.len()
+            } else {
+                relation
+            };
             graph
                 .add_edge_with_props(
                     vertex_ids[i],

@@ -131,9 +131,11 @@ fn exhausted_deadline_is_answered_with_504() {
     let (addr, handle) = start_server(ServeConfig::default());
 
     let request = r#"{"question": "Does the dog appear in the car?", "deadline_ms": 0}"#;
-    let (status, _, body) = http(addr, "POST", "/ask", request);
+    let (status, head, body) = http(addr, "POST", "/ask", request);
     assert_eq!(status, 504, "{body}");
     assert!(body.contains("deadline"), "{body}");
+    // Like 429 and 503, a timeout tells the client when to retry.
+    assert!(head.contains("Retry-After"), "{head}");
 
     shutdown_and_join(addr, handle);
 }
